@@ -1,0 +1,118 @@
+//! Cell-delay distribution baselines of Table II: the log-skew-normal model
+//! of Balef et al. \[12\] and the Burr XII model of Moshrefi et al. \[13\].
+//!
+//! Both fit a parametric density to Monte-Carlo delay samples and read the
+//! sigma-level quantiles off the fitted distribution — in contrast to the
+//! N-sigma model, which regresses the quantiles directly on the moments.
+
+use nsigma_stats::distributions::Distribution;
+use nsigma_stats::fit::{fit_burr, fit_log_skew_normal, FitDistError};
+use nsigma_stats::quantile::QuantileSet;
+
+/// Sigma-level quantiles from an LSN fit to delay samples (baseline \[12\]).
+///
+/// # Errors
+///
+/// Returns a [`FitDistError`] for tiny or non-positive samples.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_baselines::cell_fit::lsn_quantiles;
+/// use nsigma_stats::distributions::{Distribution, LogNormal};
+/// use nsigma_stats::quantile::SigmaLevel;
+/// use rand::SeedableRng;
+///
+/// let d = LogNormal::from_mean_std(20e-12, 3e-12);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let xs: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+/// let q = lsn_quantiles(&xs)?;
+/// assert!(q[SigmaLevel::PlusThree] > q[SigmaLevel::Zero]);
+/// # Ok::<(), nsigma_stats::fit::FitDistError>(())
+/// ```
+pub fn lsn_quantiles(samples: &[f64]) -> Result<QuantileSet, FitDistError> {
+    let d = fit_log_skew_normal(samples)?;
+    Ok(QuantileSet::from_fn(|lvl| d.quantile(lvl.probability())))
+}
+
+/// Sigma-level quantiles from a Burr XII fit to delay samples
+/// (baseline \[13\]).
+///
+/// # Errors
+///
+/// Returns a [`FitDistError`] for tiny or non-positive samples.
+pub fn burr_quantiles(samples: &[f64]) -> Result<QuantileSet, FitDistError> {
+    let d = fit_burr(samples)?;
+    Ok(QuantileSet::from_fn(|lvl| d.quantile(lvl.probability())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::timing::sample_arc;
+    use nsigma_process::{Technology, VariationModel};
+    use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cell_delay_samples(kind: CellKind, strength: u32, n: usize) -> Vec<f64> {
+        let tech = Technology::synthetic_28nm();
+        let variation = VariationModel::new(&tech);
+        let cell = Cell::new(kind, strength);
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let load = 4.0 * cell.input_cap(&tech);
+        (0..n)
+            .map(|_| {
+                let g = variation.sample_global(&mut rng);
+                sample_arc(&tech, &variation, &cell, 10e-12, load, &g, &mut rng).delay
+            })
+            .collect()
+    }
+
+    fn err_pct(q: &QuantileSet, golden: &QuantileSet, lvl: SigmaLevel) -> f64 {
+        ((q[lvl] - golden[lvl]) / golden[lvl] * 100.0).abs()
+    }
+
+    #[test]
+    fn lsn_fits_cell_delay_within_paper_band() {
+        // Table II: LSN average ±3σ errors around 5–8 %.
+        let xs = cell_delay_samples(CellKind::Nand2, 2, 10_000);
+        let golden = QuantileSet::from_samples(&xs);
+        let q = lsn_quantiles(&xs).unwrap();
+        assert!(err_pct(&q, &golden, SigmaLevel::PlusThree) < 12.0);
+        assert!(err_pct(&q, &golden, SigmaLevel::MinusThree) < 12.0);
+        assert!(q.is_monotone());
+    }
+
+    #[test]
+    fn burr_is_worse_than_lsn_in_the_tail() {
+        // Table II's ordering: Burr ≳ 2× the LSN error at ±3σ on average.
+        let mut lsn_total = 0.0;
+        let mut burr_total = 0.0;
+        for (kind, s) in [
+            (CellKind::Nor2, 1),
+            (CellKind::Nand2, 4),
+            (CellKind::Aoi21, 2),
+        ] {
+            let xs = cell_delay_samples(kind, s, 8000);
+            let golden = QuantileSet::from_samples(&xs);
+            let lq = lsn_quantiles(&xs).unwrap();
+            let bq = burr_quantiles(&xs).unwrap();
+            for lvl in [SigmaLevel::MinusThree, SigmaLevel::PlusThree] {
+                lsn_total += err_pct(&lq, &golden, lvl);
+                burr_total += err_pct(&bq, &golden, lvl);
+            }
+        }
+        assert!(
+            burr_total > lsn_total,
+            "Burr total {burr_total:.1}% should exceed LSN {lsn_total:.1}%"
+        );
+    }
+
+    #[test]
+    fn both_reject_empty_samples() {
+        assert!(lsn_quantiles(&[]).is_err());
+        assert!(burr_quantiles(&[]).is_err());
+    }
+}

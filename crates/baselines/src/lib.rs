@@ -1,0 +1,28 @@
+//! # nsigma-baselines
+//!
+//! The comparison methods of the paper's evaluation:
+//!
+//! * [`cell_fit`] — the LSN \[12\] and Burr \[13\] cell-delay models of
+//!   Table II;
+//! * [`corner`] — corner-based sign-off STA (the "PT" column of Table III),
+//!   with its characteristic per-stage 3σ stacking pessimism;
+//! * [`ml`] — the ML wire-delay estimator \[9\]: learned mean/σ regression
+//!   plus Gaussian path combination (no higher moments);
+//! * [`correction`] — the correction-factor method \[8\]: nominal analysis
+//!   scaled by factors calibrated once against a reference golden run.
+//!
+//! Each baseline intentionally reproduces the *failure mode* the paper
+//! contrasts against: pessimism from corner stacking, missing skew/kurtosis,
+//! and non-transferable calibration factors.
+
+#![warn(missing_docs)]
+
+pub mod cell_fit;
+pub mod correction;
+pub mod corner;
+pub mod ml;
+
+pub use cell_fit::{burr_quantiles, lsn_quantiles};
+pub use correction::CorrectionTimer;
+pub use corner::{CornerSta, CornerTiming};
+pub use ml::{MlTimer, MlTrainConfig};

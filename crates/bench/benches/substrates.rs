@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the substrate layers: per-sample cell evaluation,
+//! RC-tree moment computation, transient solving and characterization —
+//! the costs that set the golden simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::characterize::{characterize_point, CharacterizeConfig};
+use nsigma_cells::timing::sample_arc;
+use nsigma_interconnect::elmore::moments_all;
+use nsigma_interconnect::generator::{generate_net, NetGenConfig};
+use nsigma_interconnect::metrics::two_pole_delay;
+use nsigma_interconnect::transient::{simulate_ramp, TransientConfig};
+use nsigma_process::{GlobalSample, Technology, VariationModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cell_sampling(c: &mut Criterion) {
+    let tech = Technology::synthetic_28nm();
+    let variation = VariationModel::new(&tech);
+    let cell = Cell::new(CellKind::Nand2, 2);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = GlobalSample::nominal();
+
+    c.bench_function("cell_sample_arc", |b| {
+        b.iter(|| {
+            black_box(sample_arc(
+                &tech,
+                &variation,
+                &cell,
+                black_box(10e-12),
+                black_box(1e-15),
+                &g,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_interconnect(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let tree = generate_net(&mut rng, &NetGenConfig::default_28nm().with_fanout(3));
+
+    c.bench_function("rc_moments_m1_m2", |b| {
+        b.iter(|| black_box(moments_all(black_box(&tree))))
+    });
+
+    let (m1, m2) = moments_all(&tree);
+    let sink = tree.sinks()[0].index();
+    c.bench_function("two_pole_50pct", |b| {
+        b.iter(|| black_box(two_pole_delay(black_box(m1[sink]), black_box(m2[sink]))))
+    });
+
+    let cfg = TransientConfig::auto(&tree, 0.6, 10e-12, 2000.0);
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(20);
+    group.bench_function("backward_euler_ramp", |b| {
+        b.iter(|| black_box(simulate_ramp(black_box(&tree), &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let tech = Technology::synthetic_28nm();
+    let variation = VariationModel::new(&tech);
+    let cell = Cell::new(CellKind::Inv, 1);
+    let _cfg = CharacterizeConfig::standard(1000, 3);
+
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("one_grid_point_1000_samples", |b| {
+        b.iter(|| {
+            black_box(characterize_point(
+                &tech,
+                &variation,
+                &cell,
+                10e-12,
+                0.4e-15,
+                1000,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cell_sampling,
+    bench_interconnect,
+    bench_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Criterion benchmarks of the analysis-side costs — the quantities behind
+//! the paper's §V-D runtime discussion (the N-sigma model answers from
+//! coefficient tables; the golden needs thousands of Monte-Carlo trials).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::{find_critical_path, sample_path, simulate_path_mc, PathMcConfig};
+use nsigma_netlist::generators::arith::ripple_adder;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_process::{Technology, VariationModel};
+use nsigma_stats::moments::Moments;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Setup {
+    design: Design,
+    timer: NsigmaTimer,
+    path: nsigma_netlist::topo::Path,
+}
+
+fn setup() -> Setup {
+    let tech = Technology::synthetic_28nm();
+    let mut lib = CellLibrary::new();
+    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for s in [1, 2, 4, 8] {
+            lib.add(Cell::new(kind, s));
+        }
+    }
+    let netlist = map_to_cells(&ripple_adder(16), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
+    let mut cfg = TimerConfig::standard(1);
+    cfg.char_samples = 1000;
+    cfg.wire.nets = 2;
+    cfg.wire.samples = 500;
+    let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
+    let path = find_critical_path(&design).expect("path");
+    Setup {
+        design,
+        timer,
+        path,
+    }
+}
+
+fn bench_analysis_vs_mc(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("path_delay");
+
+    // The model: one pass over the path's coefficient tables.
+    group.bench_function("nsigma_analyze_path", |b| {
+        b.iter(|| black_box(s.timer.analyze_path(&s.design, &s.path)))
+    });
+
+    // One golden MC trial (the paper's SPICE runs 5000 of these per path).
+    let variation = VariationModel::new(&s.design.tech);
+    group.bench_function("golden_mc_single_trial", |b| {
+        b.iter_batched(
+            || SmallRng::seed_from_u64(9),
+            |mut rng| {
+                let g = variation.sample_global(&mut rng);
+                black_box(sample_path(
+                    &s.design,
+                    &variation,
+                    &s.path,
+                    10e-12,
+                    &g,
+                    &mut rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A small full golden run for scale (500 trials, parallel).
+    group.sample_size(10);
+    group.bench_function("golden_mc_500_trials", |b| {
+        b.iter(|| {
+            black_box(simulate_path_mc(
+                &s.design,
+                &s.path,
+                &PathMcConfig {
+                    samples: 500,
+                    seed: 3,
+                    input_slew: 10e-12,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_components(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("model_components");
+
+    let cal = &s.timer.calibrations()["NAND2x2"];
+    group.bench_function("moments_at_operating_point", |b| {
+        b.iter(|| black_box(cal.moments_at(black_box(73e-12), black_box(1.7e-15))))
+    });
+
+    let m = Moments {
+        mean: 25e-12,
+        std: 4e-12,
+        skewness: 0.9,
+        kurtosis: 4.5,
+        n: 10_000,
+    };
+    group.bench_function("quantile_model_predict", |b| {
+        b.iter(|| black_box(s.timer.quantile_model().predict(black_box(&m))))
+    });
+
+    let driver = Cell::new(CellKind::Inv, 2);
+    let load = Cell::new(CellKind::Inv, 4);
+    group.bench_function("wire_xw_predict", |b| {
+        b.iter(|| black_box(s.timer.wire_model().predict_xw(&driver, &load)))
+    });
+
+    group.bench_function("analyze_whole_design", |b| {
+        b.iter(|| black_box(s.timer.analyze_design(&s.design)))
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    use nsigma_core::incremental::IncrementalTimer;
+    use nsigma_core::stat_max::MergeRule;
+    let s = setup();
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(20);
+
+    // Full re-analysis vs cone-limited resize on the same edit.
+    group.bench_function("full_reanalysis_after_resize", |b| {
+        b.iter_batched(
+            || s.design.clone(),
+            |mut d| {
+                let g = s.path.gates[s.path.gates.len() / 2];
+                let kind = d.lib.cell(d.netlist.gate(g).cell).kind();
+                let cell = d.lib.find_kind(kind, 8).expect("x8 exists");
+                d.replace_gate_cell(g, cell);
+                black_box(s.timer.analyze_design(&d))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("incremental_resize", |b| {
+        b.iter_batched(
+            || IncrementalTimer::new(&s.timer, s.design.clone(), MergeRule::Pessimistic),
+            |mut inc| {
+                let g = s.path.gates[s.path.gates.len() / 2];
+                black_box(inc.resize_gate(g, 8))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analysis_vs_mc,
+    bench_model_components,
+    bench_incremental
+);
+criterion_main!(benches);

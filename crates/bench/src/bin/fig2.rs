@@ -1,0 +1,66 @@
+//! Fig. 2 reproduction: the delay distribution of an inverter under supply
+//! voltages 0.5–0.8 V (25 °C), 10 k Monte-Carlo samples each.
+//!
+//! The paper's observation to reproduce: as V_dd drops toward threshold the
+//! distribution widens, skews right and grows a heavy tail, so the ±3σ
+//! quantiles drift away from the Gaussian μ ± 3σ rule.
+
+use nsigma_bench::{ps, Table};
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::timing::sample_arc;
+use nsigma_process::{Technology, VariationModel};
+use nsigma_stats::histogram::Histogram;
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let cell = Cell::new(CellKind::Inv, 1);
+
+    println!("== Fig. 2: INVx1 delay distribution vs supply voltage ==");
+    println!("{SAMPLES} MC samples per voltage, FO4-like load, 10 ps input slew\n");
+
+    let mut table = Table::new(&[
+        "Vdd (V)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis", "-3s (ps)", "+3s (ps)",
+        "gauss +3s",
+    ]);
+
+    for &vdd in &[0.5, 0.6, 0.7, 0.8] {
+        let tech = Technology::synthetic_28nm().with_vdd(vdd);
+        let variation = VariationModel::new(&tech);
+        let load = 4.0 * cell.input_cap(&tech);
+        let mut rng = SmallRng::seed_from_u64(2023);
+        let delays: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let g = variation.sample_global(&mut rng);
+                sample_arc(&tech, &variation, &cell, 10e-12, load, &g, &mut rng).delay
+            })
+            .collect();
+        let m = Moments::from_samples(&delays);
+        let q = QuantileSet::from_samples(&delays);
+        table.row(&[
+            format!("{vdd:.1}"),
+            ps(m.mean),
+            ps(m.std),
+            format!("{:.3}", m.skewness),
+            format!("{:.3}", m.kurtosis),
+            ps(q[SigmaLevel::MinusThree]),
+            ps(q[SigmaLevel::PlusThree]),
+            ps(m.mean + 3.0 * m.std),
+        ]);
+
+        if (vdd - 0.6).abs() < 1e-9 {
+            println!("PDF at the paper's 0.6 V operating point:");
+            let h = Histogram::from_samples(&delays, 30);
+            print!("{}", h.to_ascii(50));
+            println!();
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Note: the +3σ quantile exceeds the Gaussian μ+3σ estimate at low V_dd —\n\
+         the asymmetry the N-sigma model corrects (paper §III-A)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Fig. 3 reproduction: how skewness and kurtosis move the sigma-level
+//! quantiles away from their Gaussian positions.
+//!
+//! Panel (a): skew-normal family of growing skewness, zero excess kurtosis
+//! drift — the ±σ/±2σ levels move more than ±3σ.
+//! Panel (b): heavy-tail family (Student-t-like mixture) of growing
+//! kurtosis at zero skew — the ±2σ/±3σ levels diverge most.
+
+use nsigma_bench::Table;
+use nsigma_stats::distributions::{Distribution, SkewNormal};
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use nsigma_stats::rng::standard_normal;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn quantile_shift_row(label: &str, samples: &[f64]) -> Vec<String> {
+    let m = nsigma_stats::moments::Moments::from_samples(samples);
+    let q = QuantileSet::from_samples(samples);
+    let mut row = vec![
+        label.to_string(),
+        format!("{:.2}", m.skewness),
+        format!("{:.2}", m.kurtosis),
+    ];
+    for lvl in SigmaLevel::ALL {
+        // Shift of the quantile from its Gaussian position, in σ units.
+        let gauss = m.mean + lvl.n() as f64 * m.std;
+        row.push(format!("{:+.3}", (q[lvl] - gauss) / m.std));
+    }
+    row
+}
+
+fn main() {
+    const N: usize = 400_000;
+    let mut rng = SmallRng::seed_from_u64(33);
+
+    println!("== Fig. 3(a): effect of skewness on the sigma levels ==");
+    println!("(table entries: quantile shift from the Gaussian mu + n*sigma, in sigma units)\n");
+    let mut t = Table::new(&[
+        "family", "skew", "kurt", "-3s", "-2s", "-1s", "0s", "+1s", "+2s", "+3s",
+    ]);
+    for &alpha in &[0.0, 1.0, 2.0, 4.0, 8.0] {
+        let d = SkewNormal::new(0.0, 1.0, alpha);
+        let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
+        t.row(&quantile_shift_row(&format!("SN(a={alpha})"), &xs));
+    }
+    println!("{}", t.render());
+
+    println!("== Fig. 3(b): effect of kurtosis on the sigma levels ==\n");
+    let mut t = Table::new(&[
+        "family", "skew", "kurt", "-3s", "-2s", "-1s", "0s", "+1s", "+2s", "+3s",
+    ]);
+    // Scale-mixture of normals: symmetric, kurtosis grows with mixing.
+    for &p_wide in &[0.0, 0.05, 0.10, 0.20] {
+        let xs: Vec<f64> = (0..N)
+            .map(|_| {
+                let wide = rng.gen_bool(p_wide);
+                let s = if wide { 3.0 } else { 1.0 };
+                s * standard_normal(&mut rng)
+            })
+            .collect();
+        t.row(&quantile_shift_row(&format!("mix(p={p_wide})"), &xs));
+    }
+    println!("{}", t.render());
+    println!(
+        "Skewness moves the inner levels (±σ, ±2σ) hardest; kurtosis moves ±2σ/±3σ —\n\
+         motivating the σγ terms on inner levels and σκ terms on outer levels of Table I."
+    );
+}

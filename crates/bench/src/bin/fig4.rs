@@ -1,0 +1,66 @@
+//! Fig. 4 reproduction: the first four moments of the INVx1 delay
+//! distribution under different operating conditions.
+//!
+//! Purple curves of the paper: input slew swept 10–300 ps at constant
+//! 0.4 fF load. Blue curves: output load swept 0.1–6 fF at constant 10 ps
+//! slew. μ and σ should move (near-)linearly; γ and κ move nonlinearly,
+//! motivating the cubic calibration of eq. (3).
+
+use nsigma_bench::{ps, Table};
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_process::Technology;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+    let cell = Cell::new(CellKind::Inv, 1);
+
+    println!("== Fig. 4: INVx1 delay moments vs operating conditions ==\n");
+
+    // Slew sweep at constant 0.4 fF.
+    let slew_cfg = CharacterizeConfig {
+        slews: (1..=10).map(|i| i as f64 * 30e-12).collect(),
+        loads: vec![0.4e-15],
+        samples: SAMPLES,
+        seed: 4,
+    };
+    let grid = characterize_cell(&tech, &cell, &slew_cfg);
+    let mut t = Table::new(&["slew (ps)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis"]);
+    for p in grid.iter() {
+        t.row(&[
+            format!("{:.0}", p.slew * 1e12),
+            ps(p.moments.mean),
+            ps(p.moments.std),
+            format!("{:.3}", p.moments.skewness),
+            format!("{:.3}", p.moments.kurtosis),
+        ]);
+    }
+    println!("-- input slew sweep (load = 0.4 fF) --");
+    println!("{}", t.render());
+
+    // Load sweep at constant 10 ps.
+    let load_cfg = CharacterizeConfig {
+        slews: vec![10e-12],
+        loads: (1..=12).map(|i| i as f64 * 0.5e-15).collect(),
+        samples: SAMPLES,
+        seed: 5,
+    };
+    let grid = characterize_cell(&tech, &cell, &load_cfg);
+    let mut t = Table::new(&["load (fF)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis"]);
+    for p in grid.iter() {
+        t.row(&[
+            format!("{:.1}", p.load * 1e15),
+            ps(p.moments.mean),
+            ps(p.moments.std),
+            format!("{:.3}", p.moments.skewness),
+            format!("{:.3}", p.moments.kurtosis),
+        ]);
+    }
+    println!("-- output load sweep (slew = 10 ps) --");
+    println!("{}", t.render());
+    println!(
+        "μ and σ scale near-linearly with both conditions (eq. 2's bilinear form);\n\
+         γ and κ bend — the cubic terms of eq. (3) exist to track that."
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 7 reproduction: Elmore delay vs the golden ("SPICE") wire delay
+//! distribution on one RC network.
+//!
+//! The paper's headline numbers there: Elmore 22.19 ps vs a 99.86 % quantile
+//! of 31.65 ps — i.e. the nominal Elmore metric misses both the driver
+//! interaction on the mean and the whole variability. We reproduce the
+//! *relationship* on our synthetic net: golden mean above plain Elmore,
+//! +3σ far above it.
+
+use nsigma_bench::ps;
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_core::wire_model::elmore_with_pins;
+use nsigma_interconnect::generator::random_net;
+use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
+use nsigma_process::Technology;
+use nsigma_stats::histogram::Histogram;
+use nsigma_stats::quantile::SigmaLevel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+
+    // One randomly drawn RC net (as in §V-C), INVx4 driver and load — the
+    // FO4 configuration the paper's Fig. 7 sketch shows.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let tree = random_net(&mut rng, 1);
+    let driver = Cell::new(CellKind::Inv, 4);
+    let load = Cell::new(CellKind::Inv, 4);
+
+    let elmore = elmore_with_pins(&tech, &tree, &[&load])[0];
+
+    println!("== Fig. 7: Elmore vs golden wire delay distribution ==");
+    println!(
+        "net: {} nodes, total R = {:.0} ohm, total C = {:.2} fF, driver/load INVx4",
+        tree.len(),
+        tree.total_res(),
+        tree.total_cap() * 1e15
+    );
+    println!("golden: {SAMPLES} transient MC samples\n");
+
+    let cfg = WireMcConfig {
+        samples: SAMPLES,
+        seed: 77,
+        input_slew: 10e-12,
+        mode: WireGoldenMode::Transient,
+    };
+    let res = simulate_wire_mc(&tech, &tree, &driver, &[&load], &cfg);
+    let m = &res[0].moments;
+    let q = &res[0].quantiles;
+
+    println!("golden wire delay distribution:");
+    print!("{}", Histogram::from_samples(res[0].samples(), 28).to_ascii(50));
+    println!();
+    println!("T_Elmore (eq. 4, pins included) = {} ps", ps(elmore));
+    println!(
+        "golden: mean = {} ps, sigma = {} ps (sigma/mu = {:.3})",
+        ps(m.mean),
+        ps(m.std),
+        m.variability()
+    );
+    println!(
+        "golden quantiles: -3s = {} ps, median = {} ps, +3s = {} ps",
+        ps(q[SigmaLevel::MinusThree]),
+        ps(q[SigmaLevel::Zero]),
+        ps(q[SigmaLevel::PlusThree])
+    );
+    println!(
+        "\nElmore underestimates the 99.86% quantile by {:.1}% — the paper's\n\
+         non-negligible error that motivates the calibrated wire model.",
+        (q[SigmaLevel::PlusThree] - elmore) / q[SigmaLevel::PlusThree] * 100.0
+    );
+}

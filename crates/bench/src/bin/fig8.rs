@@ -1,0 +1,65 @@
+//! Fig. 8 reproduction: the wire delay distribution of the same RC tree
+//! with driver/load inverters of strengths 1, 2 and 4.
+//!
+//! Observations to reproduce (paper §IV-B): the mean follows the driver
+//! strength; the variability σw/μw falls as the driver strengthens and
+//! rises with a weaker relationship on the load.
+
+use nsigma_bench::{ps, Table};
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_interconnect::generator::random_net;
+use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let tree = random_net(&mut rng, 1);
+
+    println!("== Fig. 8: wire delay vs driver/load strength (same RC tree) ==");
+    println!(
+        "net: {} nodes, R = {:.0} ohm, C = {:.2} fF; {SAMPLES} transient MC samples per cell pair\n",
+        tree.len(),
+        tree.total_res(),
+        tree.total_cap() * 1e15
+    );
+
+    let mut t = Table::new(&[
+        "driver", "load", "mean (ps)", "sigma (ps)", "sigma/mu", "-3s (ps)", "+3s (ps)",
+    ]);
+    for &fi in &[1u32, 2, 4] {
+        for &fo in &[1u32, 2, 4] {
+            let driver = Cell::new(CellKind::Inv, fi);
+            let load = Cell::new(CellKind::Inv, fo);
+            let cfg = WireMcConfig {
+                samples: SAMPLES,
+                seed: 800 + (fi * 10 + fo) as u64,
+                input_slew: 10e-12,
+                mode: WireGoldenMode::Transient,
+            };
+            let res = simulate_wire_mc(&tech, &tree, &driver, &[&load], &cfg);
+            let m = &res[0].moments;
+            let q = &res[0].quantiles;
+            t.row(&[
+                format!("INVx{fi}"),
+                format!("INVx{fo}"),
+                ps(m.mean),
+                ps(m.std),
+                format!("{:.4}", m.variability()),
+                ps(q[SigmaLevel::MinusThree]),
+                ps(q[SigmaLevel::PlusThree]),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Stronger drivers cut σw/μw (Pelgrom: wider devices mismatch less and\n\
+         the driver resistance shrinks); the load dependence is weaker and\n\
+         enters mostly through its pin capacitance — the driver/load coefficient\n\
+         structure of eq. (7)."
+    );
+}

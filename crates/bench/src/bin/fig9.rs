@@ -1,0 +1,111 @@
+//! Fig. 9 reproduction: errors in estimating the cell-specific coefficients
+//! `X_FI` (driver role) and `X_FO` (load role).
+//!
+//! The paper sweeps FO1/FO2/FO4/FO8 driver/load constraints and reports
+//! average estimation errors of about 1.92 % (X_FI) and 3.31 % (X_FO). Here
+//! we (a) check the eq. (5) √-law against measured per-cell variability for
+//! the inverter ladder, and (b) report how well the fitted eq. (7)
+//! combination reproduces the measured wire variability per driver and per
+//! load strength.
+
+use nsigma_bench::Table;
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_core::wire_model::{
+    check_cell_coefficients, WireCalibConfig, WireVariabilityModel,
+};
+use nsigma_interconnect::generator::random_net;
+use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
+use nsigma_process::Technology;
+use nsigma_stats::rng::SeedStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+
+    println!("== Fig. 9 (part 1): eq. (5) law vs measured cell coefficients ==\n");
+    let ladder: Vec<Cell> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&s| Cell::new(CellKind::Inv, s))
+        .collect();
+    let checks = check_cell_coefficients(&tech, &ladder, SAMPLES, 9);
+    let mut t = Table::new(&["cell", "X theory (eq.5)", "X measured", "error %"]);
+    let mut avg = 0.0;
+    for c in &checks {
+        t.row(&[
+            c.cell.clone(),
+            format!("{:.3}", c.theory),
+            format!("{:.3}", c.measured),
+            format!("{:.2}", c.error_pct()),
+        ]);
+        avg += c.error_pct();
+    }
+    println!("{}", t.render());
+    println!("average law error over the FO ladder: {:.2}%\n", avg / checks.len() as f64);
+
+    println!("== Fig. 9 (part 2): fitted X_w vs measured on the five calibration nets ==");
+    println!("(the paper's metric: fit error per strength point, averaged over its RC examples)\n");
+    let calib = WireCalibConfig::standard(91);
+    let model = WireVariabilityModel::calibrate(&tech, &calib).expect("calibrate");
+
+    // Recreate the calibration nets (same seed stream the model used).
+    let seeds = SeedStream::new(calib.seed);
+    let nets: Vec<_> = (0..calib.nets as u64)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(i));
+            random_net(&mut rng, 1)
+        })
+        .collect();
+
+    let strengths = [1u32, 2, 4, 8];
+    let mut fi_err = 0.0;
+    let mut fo_err = 0.0;
+    let mut t = Table::new(&["sweep", "strength", "Xw measured (net-avg)", "Xw model", "error %"]);
+    for &s in &strengths {
+        for (sweep, driver_s, load_s) in [("FI", s, 4u32), ("FO", 4u32, s)] {
+            let driver = Cell::new(CellKind::Inv, driver_s);
+            let load = Cell::new(CellKind::Inv, load_s);
+            // Average the measured variability over the calibration nets —
+            // the per-strength point of the paper's Fig. 9.
+            let mut acc = 0.0;
+            for (i, tree) in nets.iter().enumerate() {
+                let mc = simulate_wire_mc(
+                    &tech,
+                    tree,
+                    &driver,
+                    &[&load],
+                    &WireMcConfig {
+                        samples: 4000,
+                        seed: seeds.tagged_seed(7000 + i as u64 * 100 + (driver_s * 10 + load_s) as u64),
+                        input_slew: 10e-12,
+                        mode: WireGoldenMode::TwoPole,
+                    },
+                );
+                acc += mc[0].moments.variability();
+            }
+            let measured = acc / nets.len() as f64;
+            let predicted = model.predict_xw(&driver, &load);
+            let err = ((predicted - measured) / measured * 100.0).abs();
+            if sweep == "FI" {
+                fi_err += err;
+            } else {
+                fo_err += err;
+            }
+            t.row(&[
+                sweep.to_string(),
+                format!("x{s}"),
+                format!("{measured:.4}"),
+                format!("{predicted:.4}"),
+                format!("{err:.2}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "average X_w fit error — driver sweep (X_FI role): {:.2}%, load sweep (X_FO role): {:.2}%",
+        fi_err / strengths.len() as f64,
+        fo_err / strengths.len() as f64
+    );
+    println!("(paper: 1.92% and 3.31%)");
+}

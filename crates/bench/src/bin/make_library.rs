@@ -1,0 +1,61 @@
+//! Artifact generator: characterizes the full standard library and writes
+//! the deliverables a downstream flow would consume —
+//!
+//! * `target/nsigma28.lib` — Liberty subset with LVF moment tables;
+//! * `target/nsigma-coeff.txt` — the N-sigma coefficient file (Fig. 5's
+//!   LUT), reloadable with `nsigma_core::read_coefficients`.
+
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::liberty::{write_liberty, LibertyCell};
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::write_coefficients;
+use nsigma_process::Technology;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    std::fs::create_dir_all("target")?;
+
+    // Liberty export from a fresh characterization.
+    println!(
+        "characterizing {} cells x 36 grid points x {SAMPLES} samples...",
+        lib.len()
+    );
+    let t0 = Instant::now();
+    let cfg = CharacterizeConfig::standard(SAMPLES, 0x11B);
+    let cells: Vec<LibertyCell> = lib
+        .iter()
+        .map(|(_, cell)| LibertyCell {
+            cell: cell.clone(),
+            grid: characterize_cell(&tech, cell, &cfg),
+        })
+        .collect();
+    let lib_text = write_liberty("nsigma28", &tech, &cells);
+    std::fs::write("target/nsigma28.lib", &lib_text)?;
+    println!(
+        "  wrote target/nsigma28.lib ({} KiB) in {:.1?}",
+        lib_text.len() / 1024,
+        t0.elapsed()
+    );
+
+    // Full timer build → coefficient file.
+    println!("building the N-sigma timer (quantile model + wire calibration)...");
+    let t1 = Instant::now();
+    let mut tcfg = TimerConfig::standard(0x11B);
+    tcfg.char_samples = SAMPLES;
+    tcfg.wire.samples = 4000;
+    let timer = NsigmaTimer::build(&tech, &lib, &tcfg)?;
+    let coeff_text = write_coefficients(&timer);
+    std::fs::write("target/nsigma-coeff.txt", &coeff_text)?;
+    println!(
+        "  wrote target/nsigma-coeff.txt ({} KiB, {} cells) in {:.1?}",
+        coeff_text.len() / 1024,
+        timer.calibrations().len(),
+        t1.elapsed()
+    );
+    println!("reload with nsigma_core::read_coefficients(&tech, &text).");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Extension experiment: golden Monte-Carlo convergence — how many samples
+//! the ±3σ quantiles need before they stabilize, justifying the paper's
+//! 10 k-sample characterization and 5 k-sample path golden.
+
+use nsigma_bench::Table;
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::CellLibrary;
+use nsigma_cells::timing::sample_arc;
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+use nsigma_netlist::generators::arith::ripple_adder;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_process::{Technology, VariationModel};
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn cell_quantiles(tech: &Technology, n: usize, seed: u64) -> QuantileSet {
+    let variation = VariationModel::new(tech);
+    let cell = Cell::new(CellKind::Inv, 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let load = 4.0 * cell.input_cap(tech);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let g = variation.sample_global(&mut rng);
+            sample_arc(tech, &variation, &cell, 10e-12, load, &g, &mut rng).delay
+        })
+        .collect();
+    QuantileSet::from_samples(&xs)
+}
+
+fn main() {
+    let tech = Technology::synthetic_28nm();
+
+    // Reference: 200k samples.
+    println!("== MC convergence of the ±3σ quantiles ==\n");
+    eprintln!("computing 200k-sample references...");
+    let cell_ref = cell_quantiles(&tech, 200_000, 1);
+
+    let lib = CellLibrary::standard();
+    let netlist = map_to_cells(&ripple_adder(12), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib, netlist, 3);
+    let path = find_critical_path(&design).expect("path");
+    let path_ref = simulate_path_mc(
+        &design,
+        &path,
+        &PathMcConfig {
+            samples: 200_000,
+            seed: 2,
+            input_slew: 10e-12,
+        },
+    )
+    .quantiles;
+
+    let mut t = Table::new(&[
+        "samples", "cell -3s err %", "cell +3s err %", "path -3s err %", "path +3s err %",
+    ]);
+    for &n in &[500usize, 1000, 2000, 5000, 10_000, 20_000, 50_000] {
+        let cq = cell_quantiles(&tech, n, 100 + n as u64);
+        let pq = simulate_path_mc(
+            &design,
+            &path,
+            &PathMcConfig {
+                samples: n,
+                seed: 200 + n as u64,
+                input_slew: 10e-12,
+            },
+        )
+        .quantiles;
+        let e = |q: &QuantileSet, r: &QuantileSet, lvl: SigmaLevel| {
+            ((q[lvl] - r[lvl]) / r[lvl] * 100.0).abs()
+        };
+        t.row(&[
+            n.to_string(),
+            format!("{:.2}", e(&cq, &cell_ref, SigmaLevel::MinusThree)),
+            format!("{:.2}", e(&cq, &cell_ref, SigmaLevel::PlusThree)),
+            format!("{:.2}", e(&pq, &path_ref, SigmaLevel::MinusThree)),
+            format!("{:.2}", e(&pq, &path_ref, SigmaLevel::PlusThree)),
+        ]);
+        eprintln!("  n = {n} done");
+    }
+    println!("{}", t.render());
+    println!(
+        "At the paper's 10k (characterization) / 5k (path golden) settings the\n\
+         ±3σ sampling noise sits near or below the model errors being measured —\n\
+         the floor any tighter accuracy claim would have to beat."
+    );
+}

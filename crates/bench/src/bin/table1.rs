@@ -1,0 +1,79 @@
+//! Table I reproduction: the fitted N-sigma quantile-model coefficients.
+//!
+//! The paper's Table I gives the *form* of each sigma level's expression and
+//! reports that the `A_ni`/`B_nj` coefficients are obtained by regression
+//! (their MATLAB step). This binary runs that regression over the whole
+//! characterized library and prints the fitted coefficients plus the
+//! training fit quality.
+
+use nsigma_bench::Table;
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::CellLibrary;
+use nsigma_core::cell_model::CellQuantileModel;
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+
+fn main() {
+    const SAMPLES: usize = 10_000;
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let cfg = CharacterizeConfig::standard(SAMPLES, 1);
+
+    println!("== Table I: N-sigma quantile model, fitted coefficients ==");
+    println!(
+        "training: {} cells x {} grid points x {SAMPLES} MC samples\n",
+        lib.len(),
+        cfg.slews.len() * cfg.loads.len()
+    );
+
+    let mut training = Vec::new();
+    for (_, cell) in lib.iter() {
+        let grid = characterize_cell(&tech, cell, &cfg);
+        for p in grid.iter() {
+            training.push((p.moments, p.quantiles));
+        }
+    }
+    let model = CellQuantileModel::fit(&training).expect("library-wide fit");
+
+    // Term names per level (σ-normalized forms of the paper's table; see
+    // cell_model.rs docs for the normalization note).
+    let mut t = Table::new(&["level", "percent", "base", "terms (fitted coefficients)"]);
+    for lvl in SigmaLevel::ALL {
+        let c = model.coefficients(lvl);
+        let terms = match lvl.n().abs() {
+            3 => format!("{:+.4}·σκ {:+.4}·σγκ (c0={:+.4}σ)", c[1], c[2], c[0]),
+            2 => format!(
+                "{:+.4}·σγ {:+.4}·σκ {:+.4}·σγκ (c0={:+.4}σ)",
+                c[1], c[2], c[3], c[0]
+            ),
+            _ => format!("{:+.4}·σγ {:+.4}·σγκ (c0={:+.4}σ)", c[1], c[2], c[0]),
+        };
+        t.row(&[
+            lvl.to_string(),
+            format!("{:.2}%", lvl.probability() * 100.0),
+            format!("μ{:+}σ", lvl.n()),
+            terms,
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Training-set accuracy of the fitted model at ±3σ.
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (m, q) in &training {
+        let p = model.predict(m);
+        for lvl in [SigmaLevel::MinusThree, SigmaLevel::PlusThree] {
+            let e = ((p[lvl] - q[lvl]) / q[lvl] * 100.0).abs();
+            worst = worst.max(e);
+            sum += e;
+            count += 1;
+        }
+    }
+    println!(
+        "library-wide ±3σ fit: avg {:.2}% / worst {:.2}% over {} points",
+        sum / count as f64,
+        worst,
+        count / 2
+    );
+}

@@ -1,0 +1,161 @@
+//! The synthetic standard-cell library: every [`CellKind`] at strengths
+//! x1/x2/x4/x8, with name lookup — the stand-in for the paper's TSMC 28 nm
+//! Liberty library.
+
+use crate::cell::{Cell, CellKind};
+use std::collections::HashMap;
+
+/// Opaque identifier of a cell inside a [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The raw index (stable for the lifetime of the library).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An immutable collection of [`Cell`]s with name lookup.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::library::CellLibrary;
+///
+/// let lib = CellLibrary::standard();
+/// let id = lib.find("INVx4").expect("INVx4 is in the standard library");
+/// assert_eq!(lib.cell(id).strength(), 4);
+/// assert!(lib.len() >= 28);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+/// The strength ladder of the standard library.
+pub const STANDARD_STRENGTHS: [u32; 4] = [1, 2, 4, 8];
+
+impl CellLibrary {
+    /// Builds an empty library.
+    pub fn new() -> Self {
+        Self {
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Builds the full standard library: all kinds × strengths {1, 2, 4, 8}.
+    pub fn standard() -> Self {
+        let mut lib = Self::new();
+        for kind in CellKind::ALL {
+            for &s in &STANDARD_STRENGTHS {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        lib
+    }
+
+    /// Adds a cell, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell with the same name is already present.
+    pub fn add(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len());
+        let prev = self.by_name.insert(cell.name().to_string(), id);
+        assert!(prev.is_none(), "duplicate cell name {}", cell.name());
+        self.cells.push(cell);
+        id
+    }
+
+    /// Looks a cell up by library name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Finds a cell by kind and strength.
+    pub fn find_kind(&self, kind: CellKind, strength: u32) -> Option<CellId> {
+        self.find(&format!("{}x{}", kind.prefix(), strength))
+    }
+
+    /// The cell for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different library.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i), c))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_table_ii_cells() {
+        let lib = CellLibrary::standard();
+        for name in [
+            "NOR2x1", "NOR2x2", "NOR2x4", "NOR2x8", "NAND2x1", "NAND2x2", "NAND2x4", "NAND2x8",
+            "AOI2x1", "AOI2x2", "AOI2x4", "AOI2x8", "INVx1", "INVx4",
+        ] {
+            assert!(lib.find(name).is_some(), "missing {name}");
+        }
+        assert_eq!(lib.len(), CellKind::ALL.len() * STANDARD_STRENGTHS.len());
+    }
+
+    #[test]
+    fn find_kind_matches_find() {
+        let lib = CellLibrary::standard();
+        assert_eq!(lib.find_kind(CellKind::Inv, 4), lib.find("INVx4"));
+        assert_eq!(lib.find_kind(CellKind::Inv, 16), None);
+    }
+
+    #[test]
+    fn ids_are_stable_handles() {
+        let lib = CellLibrary::standard();
+        let id = lib.find("NAND2x2").unwrap();
+        assert_eq!(lib.cell(id).name(), "NAND2x2");
+        assert_eq!(id.index(), id.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_names_rejected() {
+        let mut lib = CellLibrary::new();
+        lib.add(Cell::new(CellKind::Inv, 1));
+        lib.add(Cell::new(CellKind::Inv, 1));
+    }
+
+    #[test]
+    fn iter_yields_every_cell() {
+        let lib = CellLibrary::standard();
+        assert_eq!(lib.iter().count(), lib.len());
+        for (id, cell) in lib.iter() {
+            assert_eq!(lib.cell(id).name(), cell.name());
+        }
+    }
+}

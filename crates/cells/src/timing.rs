@@ -1,0 +1,290 @@
+//! Per-sample analytic cell timing — the transistor-level "SPICE substitute"
+//! evaluated once per Monte-Carlo trial.
+//!
+//! The stage delay model is the classic near-threshold RC form:
+//!
+//! ```text
+//! T = stages · ln2 · R_eff · C_total  +  α(V_th) · S_in
+//! R_eff = V_dd / (2 · I_on(V_th))
+//! ```
+//!
+//! with `I_on` the EKV stack current under the sampled threshold shift. The
+//! exponential-ish V_th → I_on map turns Gaussian mismatch into right-skewed
+//! heavy-tailed delays (paper Fig. 2), the slew coefficient α couples input
+//! slew into both the mean and the variance of delay (paper Fig. 4), and the
+//! √-stack mismatch averaging gives the strength/stack dependence the wire
+//! model's eq. (5) exploits.
+
+use crate::cell::Cell;
+use nsigma_process::{GlobalSample, Technology, VariationModel};
+use rand::Rng;
+
+/// Fraction of the input slew that adds to the stage delay at nominal V_th.
+const SLEW_ALPHA: f64 = 0.35;
+/// 10–90 % output slew is ≈ ln(9) ≈ 2.2 time constants.
+const SLEW_FACTOR: f64 = 2.197;
+
+/// The timing response of one cell arc for one process sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcSample {
+    /// Propagation delay, 50 % input to 50 % output (s).
+    pub delay: f64,
+    /// Output transition time (s), propagated to downstream stages.
+    pub output_slew: f64,
+}
+
+/// Evaluates one cell arc under a sampled process condition.
+///
+/// `global` carries the die-level corner (shared across the whole circuit in
+/// path-level Monte Carlo); per-device local mismatch is drawn from `rng`
+/// using the cell's Pelgrom-averaged stack sigma.
+///
+/// # Panics
+///
+/// Panics if `input_slew` or `load_cap` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::cell::{Cell, CellKind};
+/// use nsigma_cells::timing::sample_arc;
+/// use nsigma_process::{GlobalSample, Technology, VariationModel};
+/// use rand::SeedableRng;
+///
+/// let tech = Technology::synthetic_28nm();
+/// let model = VariationModel::new(&tech);
+/// let cell = Cell::new(CellKind::Inv, 1);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let arc = sample_arc(&tech, &model, &cell, 10e-12, 0.4e-15,
+///                      &GlobalSample::nominal(), &mut rng);
+/// assert!(arc.delay > 0.0 && arc.output_slew > 0.0);
+/// ```
+pub fn sample_arc<R: Rng + ?Sized>(
+    tech: &Technology,
+    variation: &VariationModel,
+    cell: &Cell,
+    input_slew: f64,
+    load_cap: f64,
+    global: &GlobalSample,
+    rng: &mut R,
+) -> ArcSample {
+    assert!(input_slew >= 0.0, "input slew must be non-negative");
+    assert!(load_cap >= 0.0, "load cap must be non-negative");
+
+    // Independent mismatch per arc network: the reported delay is the worst
+    // of the falling and rising transitions, as STA sees it. The max of two
+    // correlated-but-distinct skewed variables is *not* log-skew-normal —
+    // one reason parametric baselines trail the moment-regressed N-sigma
+    // model on real libraries.
+    let (pd, pu) = cell.arc_stacks();
+    let local_f = variation.sample_local_vth(rng, pd.effective_local_sigma(tech));
+    let local_r = variation.sample_local_vth(rng, pu.effective_local_sigma(tech));
+    evaluate_arc_pair(
+        tech,
+        cell,
+        input_slew,
+        load_cap,
+        global.dvth + local_f,
+        global.dvth + local_r,
+        global.mobility,
+    )
+}
+
+/// Evaluates both timing arcs at explicit threshold shifts and reports the
+/// worst one — the deterministic core of [`sample_arc`].
+pub fn evaluate_arc_pair(
+    tech: &Technology,
+    cell: &Cell,
+    input_slew: f64,
+    load_cap: f64,
+    dvth_fall: f64,
+    dvth_rise: f64,
+    mobility: f64,
+) -> ArcSample {
+    let (pd, pu) = cell.arc_stacks();
+    let fall = single_arc(tech, cell, &pd, input_slew, load_cap, dvth_fall, mobility);
+    let rise = single_arc(tech, cell, &pu, input_slew, load_cap, dvth_rise, mobility);
+    if fall.delay >= rise.delay {
+        fall
+    } else {
+        rise
+    }
+}
+
+/// Evaluates one cell arc with the *same* threshold shift on both networks
+/// (the convention of the nominal and corner analyses).
+pub fn evaluate_arc(
+    tech: &Technology,
+    cell: &Cell,
+    input_slew: f64,
+    load_cap: f64,
+    dvth: f64,
+    mobility: f64,
+) -> ArcSample {
+    evaluate_arc_pair(tech, cell, input_slew, load_cap, dvth, dvth, mobility)
+}
+
+/// One arc through one stack.
+fn single_arc(
+    tech: &Technology,
+    cell: &Cell,
+    stack: &nsigma_process::Stack,
+    input_slew: f64,
+    load_cap: f64,
+    dvth: f64,
+    mobility: f64,
+) -> ArcSample {
+    let i_on = stack.drive_current(tech, dvth, mobility);
+    let r_eff = tech.vdd / (2.0 * i_on);
+    let c_total = load_cap + cell.output_parasitic(tech);
+    let stages = cell.kind().stages() as f64;
+
+    let step_delay = stages * core::f64::consts::LN_2 * r_eff * c_total;
+    // Slew penalty grows when the threshold rises (later turn-on, weaker
+    // overdrive during the input ramp).
+    let vth_eff = (tech.vth0 + dvth).max(0.05);
+    let alpha = SLEW_ALPHA * vth_eff / tech.vth0;
+    let delay = step_delay + alpha * input_slew;
+
+    // Output transition is set by the final stage's RC; full-swing CMOS
+    // regenerates edges, so the input slew leaks through only weakly.
+    let output_slew = SLEW_FACTOR * r_eff * c_total + 0.05 * input_slew;
+
+    ArcSample { delay, output_slew }
+}
+
+/// The nominal (no-variation) arc response — used by the corner-STA baseline
+/// and to seed slew propagation.
+pub fn nominal_arc(tech: &Technology, cell: &Cell, input_slew: f64, load_cap: f64) -> ArcSample {
+    evaluate_arc(tech, cell, input_slew, load_cap, 0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use nsigma_stats::moments::Moments;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mc_delays(cell: &Cell, slew: f64, load: f64, vdd: f64, n: usize) -> Vec<f64> {
+        let tech = Technology::synthetic_28nm().with_vdd(vdd);
+        let model = VariationModel::new(&tech);
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n)
+            .map(|_| {
+                let g = model.sample_global(&mut rng);
+                sample_arc(&tech, &model, cell, slew, load, &g, &mut rng).delay
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nominal_delay_is_tens_of_picoseconds() {
+        let tech = Technology::synthetic_28nm();
+        let cell = Cell::new(CellKind::Inv, 1);
+        let arc = nominal_arc(&tech, &cell, 10e-12, 0.4e-15);
+        assert!(
+            arc.delay > 1e-12 && arc.delay < 100e-12,
+            "delay = {} ps",
+            arc.delay * 1e12
+        );
+    }
+
+    #[test]
+    fn delay_grows_with_slew_and_load() {
+        let tech = Technology::synthetic_28nm();
+        let cell = Cell::new(CellKind::Nand2, 2);
+        let base = nominal_arc(&tech, &cell, 10e-12, 0.4e-15).delay;
+        assert!(nominal_arc(&tech, &cell, 100e-12, 0.4e-15).delay > base);
+        assert!(nominal_arc(&tech, &cell, 10e-12, 4.0e-15).delay > base);
+    }
+
+    #[test]
+    fn near_threshold_delay_is_right_skewed_heavy_tailed() {
+        let cell = Cell::new(CellKind::Inv, 1);
+        let ds = mc_delays(&cell, 10e-12, 0.4e-15, 0.6, 20_000);
+        let m = Moments::from_samples(&ds);
+        assert!(m.skewness > 0.3, "skewness = {}", m.skewness);
+        assert!(m.kurtosis > 3.0, "kurtosis = {}", m.kurtosis);
+        // Variability in the near-threshold regime is substantial.
+        assert!(m.variability() > 0.05, "σ/μ = {}", m.variability());
+    }
+
+    #[test]
+    fn skewness_shrinks_at_higher_vdd() {
+        let cell = Cell::new(CellKind::Inv, 1);
+        let low = Moments::from_samples(&mc_delays(&cell, 10e-12, 0.4e-15, 0.5, 20_000));
+        let high = Moments::from_samples(&mc_delays(&cell, 10e-12, 0.4e-15, 0.8, 20_000));
+        assert!(
+            low.skewness > high.skewness,
+            "0.5 V skew {} vs 0.8 V skew {}",
+            low.skewness,
+            high.skewness
+        );
+        assert!(low.variability() > high.variability());
+    }
+
+    #[test]
+    fn stronger_driver_has_lower_variability() {
+        // Pelgrom: wider devices mismatch less — this is the σ/μ ∝ 1/√strength
+        // relation the paper's eq. (5) uses.
+        let x1 = Moments::from_samples(&mc_delays(
+            &Cell::new(CellKind::Inv, 1),
+            10e-12,
+            2.0e-15,
+            0.6,
+            30_000,
+        ));
+        let x4 = Moments::from_samples(&mc_delays(
+            &Cell::new(CellKind::Inv, 4),
+            10e-12,
+            2.0e-15,
+            0.6,
+            30_000,
+        ));
+        assert!(
+            x4.variability() < x1.variability(),
+            "x4 {} !< x1 {}",
+            x4.variability(),
+            x1.variability()
+        );
+    }
+
+    #[test]
+    fn nominal_collapse_without_variation() {
+        let tech = Technology::synthetic_28nm();
+        let model = VariationModel::disabled();
+        let cell = Cell::new(CellKind::Nor2, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = sample_arc(
+            &tech,
+            &model,
+            &cell,
+            10e-12,
+            0.4e-15,
+            &GlobalSample::nominal(),
+            &mut rng,
+        );
+        let b = nominal_arc(&tech, &cell, 10e-12, 0.4e-15);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "load cap must be non-negative")]
+    fn negative_load_rejected() {
+        let tech = Technology::synthetic_28nm();
+        let model = VariationModel::new(&tech);
+        let cell = Cell::new(CellKind::Inv, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        sample_arc(
+            &tech,
+            &model,
+            &cell,
+            1e-12,
+            -1.0,
+            &GlobalSample::nominal(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal argument parsing for `nsigma-sta` — `--key value` pairs and
+//! positional subcommands, with no external dependency.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    options: HashMap<String, String>,
+    /// `--flag` options without values.
+    flags: Vec<String>,
+}
+
+/// Error produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option was given without a value (`--key` at end or before
+    /// another `--key`) when a value was required later.
+    MissingValue(String),
+    /// A required option is absent.
+    Required(String),
+    /// A numeric option failed to parse.
+    BadNumber(String, String),
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "missing subcommand"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::Required(k) => write!(f, "required option --{k} is missing"),
+            ArgsError::BadNumber(k, v) => write!(f, "option --{k}: '{v}' is not a number"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses an argument vector (excluding the program name).
+    ///
+    /// Tokens starting with `--` become options; a following token that is
+    /// not itself an option becomes the value, otherwise the option is a
+    /// bare flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingCommand`] if the first token is absent
+    /// or is an option.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgsError> {
+        let tokens: Vec<String> = argv.into_iter().collect();
+        let mut it = tokens.into_iter().peekable();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c,
+            _ => return Err(ArgsError::MissingCommand),
+        };
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            let key = tok.trim_start_matches("--").to_string();
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key, it.next().expect("peeked"));
+                }
+                _ => flags.push(key),
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.get(key).ok_or_else(|| ArgsError::Required(key.into()))
+    }
+
+    /// An optional numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadNumber`] when present but unparsable.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError::BadNumber(key.into(), v.into())),
+        }
+    }
+
+    /// An optional integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadNumber`] when present but unparsable.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError::BadNumber(key.into(), v.into())),
+        }
+    }
+
+    /// True if a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(argv("analyze --verilog x.v --paths 3 --quiet")).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.get("verilog"), Some("x.v"));
+        assert_eq!(a.get_usize("paths", 1).unwrap(), 3);
+        assert!(a.flag("quiet"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(
+            Args::parse(argv("--verilog x.v")),
+            Err(ArgsError::MissingCommand)
+        );
+        assert_eq!(Args::parse(Vec::new()), Err(ArgsError::MissingCommand));
+    }
+
+    #[test]
+    fn required_and_bad_number() {
+        let a = Args::parse(argv("analyze --samples abc")).unwrap();
+        assert_eq!(a.require("verilog"), Err(ArgsError::Required("verilog".into())));
+        assert!(matches!(
+            a.get_usize("samples", 10),
+            Err(ArgsError::BadNumber(_, _))
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(argv("mc")).unwrap();
+        assert_eq!(a.get_f64("clock", 1.5).unwrap(), 1.5);
+        assert_eq!(a.get_usize("samples", 5000).unwrap(), 5000);
+    }
+}

@@ -1,0 +1,336 @@
+//! The CLI's three flows as library functions (unit-testable without a
+//! subprocess): characterize, analyze and golden-check.
+
+use crate::args::{Args, ArgsError};
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::liberty::{write_liberty, LibertyCell};
+use nsigma_cells::CellLibrary;
+use nsigma_core::report::{report_path, report_worst_paths};
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{read_coefficients, write_coefficients};
+use nsigma_interconnect::spef;
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+use nsigma_netlist::verilog::parse_verilog;
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+
+/// A flow error: argument, IO or domain problem, with a printable message.
+#[derive(Debug)]
+pub struct FlowError(pub String);
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ArgsError> for FlowError {
+    fn from(e: ArgsError) -> Self {
+        FlowError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for FlowError {
+    fn from(e: std::io::Error) -> Self {
+        FlowError(format!("io error: {e}"))
+    }
+}
+
+fn err(msg: impl std::fmt::Display) -> FlowError {
+    FlowError(msg.to_string())
+}
+
+/// `characterize`: build the library artifacts.
+///
+/// Options: `--coeff <out>` (required), `--lib <out.lib>`,
+/// `--samples <n>` (default 5000), `--seed <n>`.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments, IO failure or a degenerate fit.
+pub fn run_characterize(args: &Args) -> Result<String, FlowError> {
+    let coeff_path = args.require("coeff")?;
+    let samples = args.get_usize("samples", 5000)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let mut cfg = TimerConfig::standard(seed);
+    cfg.char_samples = samples;
+    let timer = NsigmaTimer::build(&tech, &lib, &cfg).map_err(err)?;
+    std::fs::write(coeff_path, write_coefficients(&timer))?;
+
+    let mut summary = format!(
+        "characterized {} cells at {samples} samples/point; wrote {coeff_path}",
+        lib.len()
+    );
+    if let Some(lib_path) = args.get("lib") {
+        let ccfg = CharacterizeConfig::standard(samples, seed);
+        let cells: Vec<LibertyCell> = lib
+            .iter()
+            .map(|(_, cell)| LibertyCell {
+                cell: cell.clone(),
+                grid: characterize_cell(&tech, cell, &ccfg),
+            })
+            .collect();
+        std::fs::write(lib_path, write_liberty("nsigma28", &tech, &cells))?;
+        summary.push_str(&format!("; wrote {lib_path}"));
+    }
+    Ok(summary)
+}
+
+/// Loads a design from `--verilog` (+ optional `--spef`), using the
+/// coefficient file's technology.
+fn load_design(args: &Args, tech: &Technology) -> Result<Design, FlowError> {
+    let verilog_path = args.require("verilog")?;
+    let text = std::fs::read_to_string(verilog_path)?;
+    let lib = CellLibrary::standard();
+    let netlist = parse_verilog(&text, &lib).map_err(err)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let mut design = Design::with_generated_parasitics(tech.clone(), lib, netlist, seed);
+
+    if let Some(spef_path) = args.get("spef") {
+        let spef_text = std::fs::read_to_string(spef_path)?;
+        let nets = spef::parse(&spef_text).map_err(err)?;
+        for net in nets {
+            let id = design
+                .netlist
+                .find_net(&net.name)
+                .ok_or_else(|| err(format!("SPEF net '{}' not in the design", net.name)))?;
+            design.set_parasitic(id, net.tree);
+        }
+    }
+    Ok(design)
+}
+
+/// `analyze`: N-sigma timing of a Verilog design.
+///
+/// Options: `--verilog <file>` and `--coeff <file>` (required),
+/// `--spef <file>`, `--clock <ps>`, `--paths <k>` (default 1),
+/// `--sdf <out>`, `--seed <n>`.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments, parse failures or IO errors.
+pub fn run_analyze(args: &Args) -> Result<String, FlowError> {
+    let coeff_path = args.require("coeff")?;
+    let tech = Technology::synthetic_28nm();
+    let coeff_text = std::fs::read_to_string(coeff_path)?;
+    let timer = read_coefficients(&tech, &coeff_text).map_err(err)?;
+    let design = load_design(args, &tech)?;
+
+    let clock = match args.get("clock") {
+        Some(_) => Some(args.get_f64("clock", 0.0)? * 1e-12),
+        None => None,
+    };
+    let k = args.get_usize("paths", 1)?;
+
+    let mut out = String::new();
+    if k <= 1 {
+        let path = find_critical_path(&design)
+            .ok_or_else(|| err("design has no combinational path"))?;
+        let timing = timer.analyze_path(&design, &path);
+        out.push_str(&report_path(&design, &path, &timing, clock));
+    } else {
+        out.push_str(&report_worst_paths(&timer, &design, k, clock));
+    }
+
+    if let Some(sdf_path) = args.get("sdf") {
+        std::fs::write(sdf_path, nsigma_core::sdf::write_sdf(&timer, &design))?;
+        out.push_str(&format!("\nwrote SDF to {sdf_path}\n"));
+    }
+    Ok(out)
+}
+
+/// `mc`: golden Monte-Carlo check of the critical path.
+///
+/// Options: `--verilog <file>` (required), `--spef <file>`,
+/// `--samples <n>` (default 5000), `--seed <n>`.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments or parse failures.
+pub fn run_mc(args: &Args) -> Result<String, FlowError> {
+    let tech = Technology::synthetic_28nm();
+    let design = load_design(args, &tech)?;
+    let samples = args.get_usize("samples", 5000)?;
+    let seed = args.get_usize("seed", 7)? as u64;
+    let path = find_critical_path(&design)
+        .ok_or_else(|| err("design has no combinational path"))?;
+    let golden = simulate_path_mc(
+        &design,
+        &path,
+        &PathMcConfig {
+            samples,
+            seed,
+            input_slew: 10e-12,
+        },
+    );
+    let mut out = format!(
+        "golden MC on the critical path ({} stages, {samples} trials, {:.2?}):\n",
+        path.len(),
+        golden.elapsed
+    );
+    for lvl in SigmaLevel::ALL {
+        out.push_str(&format!(
+            "  T({lvl}) = {:9.1} ps\n",
+            golden.quantiles[lvl] * 1e12
+        ));
+    }
+    out.push_str(&format!(
+        "  mean {:.1} ps, sigma {:.1} ps, skewness {:.2}, kurtosis {:.2}\n",
+        golden.moments.mean * 1e12,
+        golden.moments.std * 1e12,
+        golden.moments.skewness,
+        golden.moments.kurtosis
+    ));
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "nsigma-sta — N-sigma statistical timing (Jin et al., DATE 2023 reproduction)
+
+USAGE:
+  nsigma-sta characterize --coeff <out.txt> [--lib <out.lib>] [--samples N] [--seed N]
+  nsigma-sta analyze --verilog <file.v> --coeff <coeff.txt>
+                     [--spef <file.spef>] [--clock <ps>] [--paths K]
+                     [--sdf <out.sdf>] [--seed N]
+  nsigma-sta mc --verilog <file.v> [--spef <file.spef>] [--samples N] [--seed N]
+
+The synthetic 28 nm technology is built in; cells must come from the
+standard library (INV/BUF/NAND2/NOR2/AOI2/OAI2/XOR2 at x1/x2/x4/x8)."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_netlist::verilog::write_verilog;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("nsigma-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(|t| t.to_string())).unwrap()
+    }
+
+    /// Builds a tiny coefficient file quickly (small custom library would
+    /// not match the standard-cell names, so use the standard library with
+    /// few samples).
+    fn quick_coeff_file() -> String {
+        let path = tmp("coeff.txt");
+        if std::path::Path::new(&path).exists() {
+            return path;
+        }
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let mut cfg = TimerConfig::standard(3);
+        cfg.char_samples = 400;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 300;
+        let timer = NsigmaTimer::build(&tech, &lib, &cfg).unwrap();
+        std::fs::write(&path, write_coefficients(&timer)).unwrap();
+        path
+    }
+
+    fn quick_verilog_file() -> String {
+        let path = tmp("adder.v");
+        let lib = CellLibrary::standard();
+        let nl = map_to_cells(&ripple_adder(4), &lib).unwrap();
+        std::fs::write(&path, write_verilog(&nl, &lib)).unwrap();
+        path
+    }
+
+    #[test]
+    fn analyze_flow_end_to_end() {
+        let coeff = quick_coeff_file();
+        let v = quick_verilog_file();
+        let sdf = tmp("adder.sdf");
+        let args = argv(&format!(
+            "analyze --verilog {v} --coeff {coeff} --clock 3000 --sdf {sdf}"
+        ));
+        let report = run_analyze(&args).unwrap();
+        assert!(report.contains("Startpoint:"));
+        assert!(report.contains("T(+3σ)"));
+        assert!(report.contains("slack"));
+        let sdf_text = std::fs::read_to_string(&sdf).unwrap();
+        assert!(sdf_text.starts_with("(DELAYFILE"));
+    }
+
+    #[test]
+    fn analyze_multi_path() {
+        let coeff = quick_coeff_file();
+        let v = quick_verilog_file();
+        let args = argv(&format!("analyze --verilog {v} --coeff {coeff} --paths 2"));
+        let report = run_analyze(&args).unwrap();
+        assert_eq!(report.matches("==== path").count(), 2);
+    }
+
+    #[test]
+    fn mc_flow_reports_quantiles() {
+        let v = quick_verilog_file();
+        let args = argv(&format!("mc --verilog {v} --samples 300"));
+        let out = run_mc(&args).unwrap();
+        assert!(out.contains("T(+3σ)"));
+        assert!(out.contains("skewness"));
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let args = argv("analyze --verilog /nonexistent.v --coeff /nonexistent.txt");
+        let e = run_analyze(&args).unwrap_err();
+        assert!(e.to_string().contains("io error"));
+        let args = argv("analyze");
+        assert!(run_analyze(&args).is_err());
+    }
+
+    #[test]
+    fn spef_override_is_consumed() {
+        let coeff = quick_coeff_file();
+        let v = quick_verilog_file();
+        // Build a SPEF for one real net of the design.
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let text = std::fs::read_to_string(&v).unwrap();
+        let nl = parse_verilog(&text, &lib).unwrap();
+        let design = Design::with_generated_parasitics(tech, lib, nl, 1);
+        let net = design
+            .netlist
+            .net_ids()
+            .find(|&n| design.parasitic(n).is_some())
+            .unwrap();
+        let spef_text = spef::write(&[spef::SpefNet {
+            name: design.netlist.net(net).name.clone(),
+            tree: design.parasitic(net).unwrap().clone(),
+        }]);
+        let spef_path = tmp("one_net.spef");
+        std::fs::write(&spef_path, spef_text).unwrap();
+
+        let args = argv(&format!(
+            "analyze --verilog {v} --coeff {coeff} --spef {spef_path}"
+        ));
+        assert!(run_analyze(&args).is_ok());
+
+        // A SPEF with an unknown net is rejected.
+        let bad = spef::write(&[spef::SpefNet {
+            name: "ghost_net".into(),
+            tree: nsigma_interconnect::rctree::RcTree::new(1e-16),
+        }]);
+        let bad_path = tmp("bad.spef");
+        std::fs::write(&bad_path, bad).unwrap();
+        let args = argv(&format!(
+            "analyze --verilog {v} --coeff {coeff} --spef {bad_path}"
+        ));
+        assert!(run_analyze(&args).is_err());
+    }
+}

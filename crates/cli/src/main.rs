@@ -1,0 +1,45 @@
+//! `nsigma-sta` — the command-line front end of the N-sigma statistical
+//! timing reproduction (Jin et al., DATE 2023).
+//!
+//! ```text
+//! nsigma-sta characterize --coeff coeff.txt --lib nsigma28.lib
+//! nsigma-sta analyze --verilog design.v --coeff coeff.txt --clock 2000 --sdf out.sdf
+//! nsigma-sta mc --verilog design.v --samples 5000
+//! ```
+
+mod args;
+mod flows;
+
+use args::Args;
+use flows::{run_analyze, run_characterize, run_mc, usage};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "characterize" => run_characterize(&parsed),
+        "analyze" => run_analyze(&parsed),
+        "mc" => run_mc(&parsed),
+        "help" | "-h" | "--help" => {
+            println!("{}", usage());
+            return;
+        }
+        other => {
+            eprintln!("error: unknown subcommand '{other}'\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Operating-condition calibration of the cell moments — the paper's
+//! §III-B, eqs. (1)–(3).
+//!
+//! Moments are characterized at the reference condition
+//! (S_ref = 10 ps, C_ref = 0.4 fF) and corrected for any other operating
+//! point: bilinear with cross term for μ and σ (eq. 2), cubic with cross
+//! term for γ and κ (eq. 3). The `P`, `Q`, `R`, `K` coefficient vectors are
+//! fitted by least squares over the characterization grid.
+
+use nsigma_cells::characterize::MomentGrid;
+use nsigma_stats::linalg::Matrix;
+use nsigma_stats::moments::Moments;
+use nsigma_stats::regression::{bilinear_cross_features, cubic_cross_features, ols, FitError};
+
+/// The paper's reference input slew (10 ps).
+pub const S_REF: f64 = 10e-12;
+/// The paper's reference output load (0.4 fF).
+pub const C_REF: f64 = 0.4e-15;
+
+/// Internal normalization scales so the ΔS/ΔC features are O(1) in the
+/// normal equations.
+const S_SCALE: f64 = 100e-12;
+const C_SCALE: f64 = 1e-15;
+
+/// The fitted calibration of one cell's moments over operating conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentCalibration {
+    /// Reference condition (s, F).
+    pub s_ref: f64,
+    /// Reference condition load (F).
+    pub c_ref: f64,
+    /// Reference moments `[μ₀, σ₀, γ₀, κ₀]` at `(s_ref, c_ref)`.
+    pub reference: Moments,
+    /// eq. (2) coefficients for μ: `[p_S, p_C, K]` (normalized axes).
+    mu: Vec<f64>,
+    /// eq. (2) coefficients for σ.
+    sigma: Vec<f64>,
+    /// eq. (3) coefficients for γ: `[p_S, p_C, q_S², q_C², r_S³, r_C³, K]`.
+    gamma: Vec<f64>,
+    /// eq. (3) coefficients for κ.
+    kappa: Vec<f64>,
+    /// Mean-output-slew surface, same bilinear form as μ (used for slew
+    /// propagation in the N-sigma STA).
+    out_slew: Vec<f64>,
+    /// Reference mean output slew (s).
+    out_slew_ref: f64,
+}
+
+impl MomentCalibration {
+    /// Fits the calibration from a characterized grid.
+    ///
+    /// The grid must contain the reference condition as a grid point (the
+    /// standard grid of [`nsigma_cells::CharacterizeConfig::standard`] does).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if the grid is too small for the cubic fit
+    /// (needs ≥ 8 points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference condition is not on the grid.
+    pub fn fit(grid: &MomentGrid, s_ref: f64, c_ref: f64) -> Result<Self, FitError> {
+        let reference = grid
+            .iter()
+            .find(|p| (p.slew - s_ref).abs() < 1e-18 && (p.load - c_ref).abs() < 1e-21)
+            .unwrap_or_else(|| panic!("reference condition ({s_ref}, {c_ref}) not on grid"));
+        let m0 = reference.moments;
+        let slew0 = reference.mean_output_slew;
+
+        let mut rows2 = Vec::new(); // bilinear features (eq. 2)
+        let mut rows3 = Vec::new(); // cubic features (eq. 3)
+        let (mut y_mu, mut y_sigma, mut y_gamma, mut y_kappa, mut y_slew) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for p in grid.iter() {
+            let ds = (p.slew - s_ref) / S_SCALE;
+            let dc = (p.load - c_ref) / C_SCALE;
+            // Drop the intercept: eq. (2)/(3) correct *relative to* the
+            // reference moments.
+            rows2.push(bilinear_cross_features(ds, dc)[1..].to_vec());
+            rows3.push(cubic_cross_features(ds, dc)[1..].to_vec());
+            y_mu.push(p.moments.mean - m0.mean);
+            y_sigma.push(p.moments.std - m0.std);
+            y_gamma.push(p.moments.skewness - m0.skewness);
+            y_kappa.push(p.moments.kurtosis - m0.kurtosis);
+            y_slew.push(p.mean_output_slew - slew0);
+        }
+        let m2 = Matrix::from_rows(&rows2);
+        let m3 = Matrix::from_rows(&rows3);
+        Ok(Self {
+            s_ref,
+            c_ref,
+            reference: m0,
+            mu: ols(&m2, &y_mu)?.coefficients,
+            sigma: ols(&m2, &y_sigma)?.coefficients,
+            gamma: ols(&m3, &y_gamma)?.coefficients,
+            kappa: ols(&m3, &y_kappa)?.coefficients,
+            out_slew: ols(&m2, &y_slew)?.coefficients,
+            out_slew_ref: slew0,
+        })
+    }
+
+    /// The calibrated moments `[μ', σ', γ', κ']` at an operating condition
+    /// (eqs. 2–3).
+    pub fn moments_at(&self, slew: f64, load: f64) -> Moments {
+        let ds = (slew - self.s_ref) / S_SCALE;
+        let dc = (load - self.c_ref) / C_SCALE;
+        let f2 = &bilinear_cross_features(ds, dc)[1..];
+        let f3 = &cubic_cross_features(ds, dc)[1..];
+        let dot = |c: &[f64], f: &[f64]| c.iter().zip(f).map(|(a, b)| a * b).sum::<f64>();
+        let m0 = &self.reference;
+        Moments {
+            mean: (m0.mean + dot(&self.mu, f2)).max(1e-15),
+            std: (m0.std + dot(&self.sigma, f2)).max(1e-16),
+            skewness: m0.skewness + dot(&self.gamma, f3),
+            kurtosis: (m0.kurtosis + dot(&self.kappa, f3)).max(1.0),
+            n: m0.n,
+        }
+    }
+
+    /// The calibrated mean output slew (s) at an operating condition — used
+    /// by the N-sigma STA to propagate transition times.
+    pub fn output_slew_at(&self, slew: f64, load: f64) -> f64 {
+        let ds = (slew - self.s_ref) / S_SCALE;
+        let dc = (load - self.c_ref) / C_SCALE;
+        let f2 = &bilinear_cross_features(ds, dc)[1..];
+        let dot: f64 = self.out_slew.iter().zip(f2).map(|(a, b)| a * b).sum();
+        (self.out_slew_ref + dot).max(1e-13)
+    }
+
+    /// Extracts the raw coefficient vectors for serialization:
+    /// `(μ, σ, γ, κ, out_slew, out_slew_ref)`.
+    pub fn to_raw(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+        (
+            self.mu.clone(),
+            self.sigma.clone(),
+            self.gamma.clone(),
+            self.kappa.clone(),
+            self.out_slew.clone(),
+            self.out_slew_ref,
+        )
+    }
+
+    /// Rebuilds a calibration from stored raw vectors — the inverse of
+    /// [`MomentCalibration::to_raw`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths don't match the eq. (2)/(3) layouts
+    /// (3 for μ/σ/out-slew, 7 for γ/κ).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        s_ref: f64,
+        c_ref: f64,
+        reference: Moments,
+        mu: Vec<f64>,
+        sigma: Vec<f64>,
+        gamma: Vec<f64>,
+        kappa: Vec<f64>,
+        out_slew: Vec<f64>,
+        out_slew_ref: f64,
+    ) -> Self {
+        assert_eq!(mu.len(), 3, "μ needs [p_S, p_C, K]");
+        assert_eq!(sigma.len(), 3, "σ needs [p_S, p_C, K]");
+        assert_eq!(gamma.len(), 7, "γ needs the cubic layout");
+        assert_eq!(kappa.len(), 7, "κ needs the cubic layout");
+        assert_eq!(out_slew.len(), 3, "out-slew needs [p_S, p_C, K]");
+        Self {
+            s_ref,
+            c_ref,
+            reference,
+            mu,
+            sigma,
+            gamma,
+            kappa,
+            out_slew,
+            out_slew_ref,
+        }
+    }
+
+    /// Fits a *bilinear-only* variant for γ and κ (eq. 2 form applied to all
+    /// four moments) — the ablation the paper's cubic choice is judged
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// See [`MomentCalibration::fit`].
+    pub fn fit_bilinear_only(grid: &MomentGrid, s_ref: f64, c_ref: f64) -> Result<Self, FitError> {
+        let full = Self::fit(grid, s_ref, c_ref)?;
+        // Refit γ/κ with the bilinear feature set, then zero-pad to the
+        // cubic layout (squared/cubic terms = 0).
+        let mut rows2 = Vec::new();
+        let (mut y_gamma, mut y_kappa) = (Vec::new(), Vec::new());
+        for p in grid.iter() {
+            let ds = (p.slew - s_ref) / S_SCALE;
+            let dc = (p.load - c_ref) / C_SCALE;
+            rows2.push(bilinear_cross_features(ds, dc)[1..].to_vec());
+            y_gamma.push(p.moments.skewness - full.reference.skewness);
+            y_kappa.push(p.moments.kurtosis - full.reference.kurtosis);
+        }
+        let m2 = Matrix::from_rows(&rows2);
+        let g = ols(&m2, &y_gamma)?.coefficients;
+        let k = ols(&m2, &y_kappa)?.coefficients;
+        // Cubic layout: [pS, pC, qS2, qC2, rS3, rC3, K].
+        let pad = |v: &[f64]| vec![v[0], v[1], 0.0, 0.0, 0.0, 0.0, v[2]];
+        Ok(Self {
+            gamma: pad(&g),
+            kappa: pad(&k),
+            ..full
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+    use nsigma_process::Technology;
+
+    fn grid() -> MomentGrid {
+        let tech = Technology::synthetic_28nm();
+        let cfg = CharacterizeConfig {
+            slews: vec![10e-12, 50e-12, 100e-12, 200e-12, 300e-12],
+            loads: vec![0.1e-15, 0.4e-15, 1.0e-15, 2.0e-15, 4.0e-15, 6.0e-15],
+            samples: 4000,
+            seed: 31,
+        };
+        characterize_cell(&tech, &Cell::new(CellKind::Inv, 1), &cfg)
+    }
+
+    #[test]
+    fn reference_condition_reproduced_exactly_in_mu_sigma_trend() {
+        let g = grid();
+        let cal = MomentCalibration::fit(&g, S_REF, C_REF).unwrap();
+        let at_ref = cal.moments_at(S_REF, C_REF);
+        // At the reference all Δ features vanish.
+        assert!((at_ref.mean - cal.reference.mean).abs() < 1e-18);
+        assert!((at_ref.std - cal.reference.std).abs() < 1e-18);
+        assert!((at_ref.skewness - cal.reference.skewness).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrated_mu_tracks_grid_within_percents() {
+        let g = grid();
+        let cal = MomentCalibration::fit(&g, S_REF, C_REF).unwrap();
+        for p in g.iter() {
+            let m = cal.moments_at(p.slew, p.load);
+            let rel = (m.mean - p.moments.mean).abs() / p.moments.mean;
+            assert!(
+                rel < 0.06,
+                "μ calibration off by {:.1}% at ({:.0} ps, {:.1} fF)",
+                rel * 100.0,
+                p.slew * 1e12,
+                p.load * 1e15
+            );
+        }
+    }
+
+    #[test]
+    fn interpolated_point_between_grid_nodes_is_sane() {
+        let g = grid();
+        let cal = MomentCalibration::fit(&g, S_REF, C_REF).unwrap();
+        let m = cal.moments_at(75e-12, 1.5e-15);
+        let lo = cal.moments_at(50e-12, 1.0e-15);
+        let hi = cal.moments_at(100e-12, 2.0e-15);
+        assert!(m.mean > lo.mean && m.mean < hi.mean);
+        assert!(m.std > 0.0 && m.kurtosis > 1.0);
+    }
+
+    #[test]
+    fn cubic_beats_bilinear_on_gamma_kappa() {
+        let g = grid();
+        let cubic = MomentCalibration::fit(&g, S_REF, C_REF).unwrap();
+        let bilinear = MomentCalibration::fit_bilinear_only(&g, S_REF, C_REF).unwrap();
+        let mut err_cubic = 0.0;
+        let mut err_bilinear = 0.0;
+        for p in g.iter() {
+            let mc = cubic.moments_at(p.slew, p.load);
+            let mb = bilinear.moments_at(p.slew, p.load);
+            err_cubic += (mc.skewness - p.moments.skewness).abs()
+                + (mc.kurtosis - p.moments.kurtosis).abs();
+            err_bilinear += (mb.skewness - p.moments.skewness).abs()
+                + (mb.kurtosis - p.moments.kurtosis).abs();
+        }
+        assert!(
+            err_cubic <= err_bilinear,
+            "cubic {err_cubic} should fit γ/κ at least as well as bilinear {err_bilinear}"
+        );
+    }
+
+    #[test]
+    fn output_slew_grows_with_load() {
+        let g = grid();
+        let cal = MomentCalibration::fit(&g, S_REF, C_REF).unwrap();
+        assert!(cal.output_slew_at(10e-12, 4e-15) > cal.output_slew_at(10e-12, 0.4e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "not on grid")]
+    fn off_grid_reference_rejected() {
+        let g = grid();
+        let _ = MomentCalibration::fit(&g, 17e-12, C_REF);
+    }
+}

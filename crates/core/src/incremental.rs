@@ -1,0 +1,348 @@
+//! Incremental N-sigma analysis for ECO-style edits.
+//!
+//! The correction-factor work the paper builds on (\[8\]) lives inside a gate
+//! -sizing loop, where the timer is queried after every resize. Re-running
+//! block-based analysis over the whole design per edit wastes the locality
+//! of the change; [`IncrementalTimer`] keeps per-net arrival quantiles and,
+//! on a resize, recomputes only the affected cone: the resized gate, the
+//! drivers of its fanin nets (their loads changed), and everything
+//! downstream of a net whose arrival actually moved.
+
+use crate::stat_max::MergeRule;
+use crate::sta::NsigmaTimer;
+use nsigma_mc::design::Design;
+use nsigma_netlist::ir::{GateId, NetDriver, NetId};
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+
+/// Tolerance below which an arrival/slew change does not propagate.
+const EPS: f64 = 1e-18;
+
+/// A design under incremental N-sigma analysis.
+pub struct IncrementalTimer<'t> {
+    timer: &'t NsigmaTimer,
+    design: Design,
+    rule: MergeRule,
+    order: Vec<GateId>,
+    arrival: Vec<QuantileSet>,
+    slew: Vec<f64>,
+    /// Gates recomputed by the last [`IncrementalTimer::resize_gate`].
+    last_recompute: usize,
+}
+
+impl<'t> IncrementalTimer<'t> {
+    /// Builds the incremental view and runs the initial full analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no gates.
+    pub fn new(timer: &'t NsigmaTimer, design: Design, rule: MergeRule) -> Self {
+        assert!(design.netlist.num_gates() > 0, "design has no gates");
+        let order = nsigma_netlist::topo::topo_order(&design.netlist);
+        let nets = design.netlist.num_nets();
+        let mut this = Self {
+            timer,
+            design,
+            rule,
+            order,
+            arrival: vec![QuantileSet::default(); nets],
+            slew: vec![timer.input_slew(); nets],
+            last_recompute: 0,
+        };
+        let all: Vec<GateId> = this.order.clone();
+        this.recompute(&all, &mut std::collections::HashSet::new());
+        this
+    }
+
+    /// The analyzed design (read-only).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Arrival quantiles at a net.
+    pub fn arrival(&self, net: NetId) -> &QuantileSet {
+        &self.arrival[net.index()]
+    }
+
+    /// Worst primary-output arrival under the merge rule.
+    pub fn worst_output(&self) -> QuantileSet {
+        let mut worst: Option<QuantileSet> = None;
+        for &o in self.design.netlist.outputs() {
+            if matches!(self.design.netlist.net(o).driver, NetDriver::Gate(_)) {
+                let a = self.arrival[o.index()];
+                worst = Some(match worst {
+                    Some(w) => self.rule.merge(&w, &a),
+                    None => a,
+                });
+            }
+        }
+        worst.unwrap_or_default()
+    }
+
+    /// Gates recomputed by the most recent edit (diagnostics).
+    pub fn last_recompute_count(&self) -> usize {
+        self.last_recompute
+    }
+
+    /// Resizes a gate to a different strength of the same kind and updates
+    /// the affected timing cone.
+    ///
+    /// Returns the new worst primary-output quantiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library lacks the requested strength, or if the timer
+    /// has no calibration for it.
+    pub fn resize_gate(&mut self, gate: GateId, strength: u32) -> QuantileSet {
+        let kind = {
+            let g = self.design.netlist.gate(gate);
+            self.design.lib.cell(g.cell).kind()
+        };
+        let cell = self
+            .design
+            .lib
+            .find_kind(kind, strength)
+            .unwrap_or_else(|| panic!("library has no {}x{strength}", kind.prefix()));
+        self.design.replace_gate_cell(gate, cell);
+
+        // Seeds: the resized gate plus the drivers of its fanin nets (their
+        // output load changed through the new pin capacitance).
+        let mut seeds = vec![gate];
+        let fanins: Vec<NetId> = self.design.netlist.gate(gate).inputs.clone();
+        for net in fanins {
+            if let NetDriver::Gate(driver) = self.design.netlist.net(net).driver {
+                seeds.push(driver);
+            }
+        }
+        let mut seed_set: std::collections::HashSet<GateId> = seeds.into_iter().collect();
+        let order = self.order.clone();
+        self.recompute(&order, &mut seed_set);
+        self.worst_output()
+    }
+
+    /// Walks `candidates` in topological order, recomputing any gate that is
+    /// a seed or whose fanin nets are dirty; marks outputs dirty when their
+    /// timing moves. Counts the recomputed gates.
+    fn recompute(
+        &mut self,
+        candidates: &[GateId],
+        seeds: &mut std::collections::HashSet<GateId>,
+    ) -> usize {
+        let full = seeds.is_empty(); // initial build recomputes everything
+        let mut dirty_nets: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut count = 0;
+
+        for &g in candidates {
+            let gate_inputs: Vec<NetId> = self.design.netlist.gate(g).inputs.clone();
+            let needs = full
+                || seeds.contains(&g)
+                || gate_inputs.iter().any(|i| dirty_nets.contains(&i.index()));
+            if !needs {
+                continue;
+            }
+            count += 1;
+            let (net, new_arrival, new_slew) = self.evaluate_gate(g);
+            let changed = (new_arrival[SigmaLevel::PlusThree]
+                - self.arrival[net.index()][SigmaLevel::PlusThree])
+                .abs()
+                > EPS
+                || (new_slew - self.slew[net.index()]).abs() > EPS;
+            self.arrival[net.index()] = new_arrival;
+            self.slew[net.index()] = new_slew;
+            if changed || full || seeds.contains(&g) {
+                dirty_nets.insert(net.index());
+            }
+        }
+        self.last_recompute = count;
+        count
+    }
+
+    /// One gate's block-based update (same math as `analyze_design_with`).
+    fn evaluate_gate(&self, g: GateId) -> (NetId, QuantileSet, f64) {
+        let design = &self.design;
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let net = gate.output;
+        let load = design.stage_effective_load(net);
+
+        let mut in_arrival = QuantileSet::default();
+        let mut in_slew = self.timer.input_slew();
+        let mut worst = f64::NEG_INFINITY;
+        let mut first = true;
+        for &i in &gate.inputs {
+            let a = &self.arrival[i.index()];
+            in_arrival = if first {
+                first = false;
+                *a
+            } else {
+                self.rule.merge(&in_arrival, a)
+            };
+            let key = a[SigmaLevel::PlusThree];
+            if key > worst {
+                worst = key;
+                in_slew = self.slew[i.index()];
+            }
+        }
+
+        let cal = &self.timer.calibrations()[cell.name()];
+        let moments = cal.moments_at(in_slew, load);
+        let cell_q = self.timer.quantile_model().predict(&moments);
+
+        // Wire quantiles toward the worst sink (consistent with the
+        // block-based convention of `analyze_design_with`).
+        let (wire_q, wire_mean) = match design.parasitic(net) {
+            Some(tree) if !tree.sinks().is_empty() => {
+                let loads = design.load_cells(net);
+                let bases =
+                    crate::wire_model::nominal_wire_means(&design.tech, tree, &loads, cell);
+                let pos = bases
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let q = self
+                    .timer
+                    .wire_model()
+                    .wire_quantiles(bases[pos], cell, loads[pos]);
+                let mean = self
+                    .timer
+                    .wire_model()
+                    .predict_mean(bases[pos], cell, loads[pos]);
+                (q, mean)
+            }
+            _ => (QuantileSet::default(), 0.0),
+        };
+
+        let arrival = in_arrival.add(&cell_q).add(&wire_q);
+        let slew = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+        (net, arrival, slew)
+    }
+}
+
+impl std::fmt::Debug for IncrementalTimer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalTimer")
+            .field("gates", &self.order.len())
+            .field("last_recompute", &self.last_recompute)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::TimerConfig;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::CellLibrary;
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_process::Technology;
+
+    fn setup() -> (NsigmaTimer, Design) {
+        let tech = Technology::synthetic_28nm();
+        let mut lib = CellLibrary::new();
+        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+            for s in [1, 2, 4, 8] {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        let netlist = map_to_cells(&ripple_adder(8), &lib).unwrap();
+        let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 9);
+        let mut cfg = TimerConfig::standard(13);
+        cfg.char_samples = 800;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 400;
+        let timer = NsigmaTimer::build(&tech, &lib, &cfg).unwrap();
+        (timer, design)
+    }
+
+    #[test]
+    fn initial_analysis_matches_batch() {
+        let (timer, design) = setup();
+        let batch = timer.analyze_design(&design);
+        let inc = IncrementalTimer::new(&timer, design, MergeRule::Pessimistic);
+        let worst = inc.worst_output();
+        for lvl in nsigma_stats::quantile::SigmaLevel::ALL {
+            assert!(
+                (worst[lvl] - batch[lvl]).abs() < 1e-15,
+                "{lvl}: {} vs {}",
+                worst[lvl],
+                batch[lvl]
+            );
+        }
+    }
+
+    #[test]
+    fn resize_matches_fresh_analysis_and_touches_a_subset() {
+        let (timer, design) = setup();
+        let total_gates = design.netlist.num_gates();
+        let mut inc = IncrementalTimer::new(&timer, design.clone(), MergeRule::Pessimistic);
+
+        // Upsize a gate in the middle of the carry chain.
+        let victim = nsigma_netlist::topo::topo_order(&design.netlist)[total_gates / 2];
+        let after = inc.resize_gate(victim, 8);
+
+        // Fresh analysis on an identically-edited design agrees exactly.
+        let mut fresh = design;
+        let cell = fresh
+            .lib
+            .find_kind(fresh.lib.cell(fresh.netlist.gate(victim).cell).kind(), 8)
+            .unwrap();
+        fresh.replace_gate_cell(victim, cell);
+        let batch = timer.analyze_design(&fresh);
+        for lvl in nsigma_stats::quantile::SigmaLevel::ALL {
+            assert!(
+                (after[lvl] - batch[lvl]).abs() < 1e-15,
+                "{lvl}: incremental {} vs fresh {}",
+                after[lvl],
+                batch[lvl]
+            );
+        }
+        // And the recompute stayed local.
+        assert!(
+            inc.last_recompute_count() < total_gates,
+            "recomputed {}/{} gates",
+            inc.last_recompute_count(),
+            total_gates
+        );
+        assert!(inc.last_recompute_count() >= 1);
+    }
+
+    #[test]
+    fn upsizing_the_endpoint_driver_changes_timing() {
+        let (timer, design) = setup();
+        let last = *nsigma_netlist::topo::topo_order(&design.netlist)
+            .last()
+            .unwrap();
+        let mut inc = IncrementalTimer::new(&timer, design, MergeRule::Pessimistic);
+        let before = inc.worst_output();
+        let after = inc.resize_gate(last, 8);
+        assert!(
+            (after[SigmaLevel::PlusThree] - before[SigmaLevel::PlusThree]).abs() > 0.0,
+            "resizing the endpoint driver must move the worst arrival"
+        );
+    }
+
+    #[test]
+    fn repeated_resizes_stay_consistent() {
+        let (timer, design) = setup();
+        let order = nsigma_netlist::topo::topo_order(&design.netlist);
+        let mut inc = IncrementalTimer::new(&timer, design.clone(), MergeRule::Pessimistic);
+        let mut edited = design;
+        for (k, &g) in order.iter().step_by(7).enumerate() {
+            let s = [2u32, 4, 8][k % 3];
+            inc.resize_gate(g, s);
+            let kind = edited.lib.cell(edited.netlist.gate(g).cell).kind();
+            let cell = edited.lib.find_kind(kind, s).unwrap();
+            edited.replace_gate_cell(g, cell);
+        }
+        let batch = timer.analyze_design(&edited);
+        let worst = inc.worst_output();
+        assert!(
+            (worst[SigmaLevel::PlusThree] - batch[SigmaLevel::PlusThree]).abs() < 1e-15,
+            "incremental {} vs fresh {} after a resize sequence",
+            worst[SigmaLevel::PlusThree],
+            batch[SigmaLevel::PlusThree]
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! # nsigma-core
+//!
+//! The primary contribution of *“A Novel Delay Calibration Method
+//! Considering Interaction between Cells and Wires”* (Jin et al., DATE
+//! 2023), implemented from scratch:
+//!
+//! * [`cell_model`] — the Table I N-sigma quantile model: sigma-level
+//!   quantiles from the first four moments with `σγ`/`σκ`/`γκ` cross terms,
+//!   coefficients fitted by regression over the characterized library;
+//! * [`calibration`] — the §III-B operating-condition calibration (eqs.
+//!   1–3): bilinear correction of μ/σ and cubic correction of γ/κ in
+//!   (Δslew, Δload), with the cross term;
+//! * [`wire_model`] — the §IV wire model (eqs. 4–9): Elmore mean with a
+//!   variability `X_w` composed of driver/load cell-specific coefficients
+//!   following Pelgrom's √(stack·strength) law, normalized to the FO4
+//!   inverter;
+//! * [`sta`] — the full N-sigma timer: characterization-driven build, path
+//!   analysis per eq. (10), and block-based whole-design analysis;
+//! * [`extended`] — the ±6σ extension the paper mentions (Cornish–Fisher)
+//!   and timing-yield curves built from the sigma levels;
+//! * [`sdf`] — SDF export with the sigma levels as (min:typ:max) triplets;
+//! * [`stat_max`] — pessimistic and Clark statistical MAX merges for
+//!   block-based analysis;
+//! * [`incremental`] — cone-limited re-analysis after ECO gate resizes;
+//! * [`report`] — sign-off-style text timing reports (k-worst paths);
+//! * [`liberty_bridge`] — build calibrations from parsed Liberty LVF tables;
+//! * [`coeff_store`] — the Fig. 5 coefficients file (text LUT), so analysis
+//!   can skip recharacterization.
+//!
+//! # Examples
+//!
+//! End-to-end: build the timer, analyze a critical path, read the +3σ
+//! arrival.
+//!
+//! ```no_run
+//! use nsigma_cells::CellLibrary;
+//! use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+//! use nsigma_mc::design::Design;
+//! use nsigma_netlist::generators::arith::ripple_adder;
+//! use nsigma_netlist::mapping::map_to_cells;
+//! use nsigma_process::Technology;
+//! use nsigma_stats::quantile::SigmaLevel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::synthetic_28nm();
+//! let lib = CellLibrary::standard();
+//! let netlist = map_to_cells(&ripple_adder(16), &lib)?;
+//! let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
+//!
+//! let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(42))?;
+//! let (path, timing) = timer.analyze_critical_path(&design).expect("non-empty");
+//! println!("{} stages, +3σ = {:.1} ps", path.len(),
+//!          timing.quantiles[SigmaLevel::PlusThree] * 1e12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod cell_model;
+pub mod coeff_store;
+pub mod extended;
+pub mod incremental;
+pub mod liberty_bridge;
+pub mod report;
+pub mod sdf;
+pub mod sta;
+pub mod stat_max;
+pub mod wire_model;
+
+pub use calibration::{MomentCalibration, C_REF, S_REF};
+pub use extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
+pub use cell_model::CellQuantileModel;
+pub use coeff_store::{read_coefficients, write_coefficients};
+pub use sta::{NsigmaTimer, PathTiming, StageTiming, TimerConfig};
+pub use incremental::IncrementalTimer;
+pub use stat_max::{clark_max, MergeRule};
+pub use wire_model::{cell_coefficient, WireCalibConfig, WireVariabilityModel};

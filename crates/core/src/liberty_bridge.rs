@@ -1,0 +1,138 @@
+//! Bridge from parsed Liberty LVF tables to the N-sigma calibration —
+//! closing the loop: a library characterized elsewhere (or round-tripped
+//! through `.lib` text) becomes a usable [`MomentCalibration`] without
+//! re-running Monte Carlo.
+
+use crate::calibration::MomentCalibration;
+use nsigma_cells::characterize::{GridPoint, MomentGrid};
+use nsigma_cells::liberty::LibertyTables;
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::QuantileSet;
+use nsigma_stats::regression::FitError;
+
+/// Reassembles a characterization grid from Liberty LVF tables.
+///
+/// The sigma-level quantiles (which Liberty does not carry) are
+/// reconstructed from the four moments with the Cornish–Fisher expansion —
+/// adequate for calibration fitting, which only consumes the moments and
+/// the mean transition anyway.
+pub fn grid_from_liberty(tables: &LibertyTables) -> MomentGrid {
+    let n_loads = tables.loads.len();
+    let points = tables
+        .slews
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &slew)| {
+            let tables = &tables;
+            tables.loads.iter().enumerate().map(move |(j, &load)| {
+                let k = i * n_loads + j;
+                let moments = Moments {
+                    mean: tables.mean[k],
+                    std: tables.sigma[k],
+                    skewness: tables.skewness[k],
+                    kurtosis: tables.kurtosis[k],
+                    n: 0,
+                };
+                GridPoint {
+                    slew,
+                    load,
+                    moments,
+                    quantiles: QuantileSet::from_fn(|lvl| {
+                        crate::extended::cornish_fisher_quantile(&moments, lvl.n() as f64)
+                    }),
+                    mean_output_slew: tables.transition[k],
+                }
+            })
+        })
+        .collect();
+    MomentGrid {
+        slews: tables.slews.clone(),
+        loads: tables.loads.clone(),
+        points,
+    }
+}
+
+/// Fits an operating-condition calibration directly from Liberty tables.
+///
+/// # Errors
+///
+/// Returns a [`FitError`] if the grid is too small for the cubic fit.
+///
+/// # Panics
+///
+/// Panics if the reference condition `(s_ref, c_ref)` is not a grid point.
+pub fn calibration_from_liberty(
+    tables: &LibertyTables,
+    s_ref: f64,
+    c_ref: f64,
+) -> Result<MomentCalibration, FitError> {
+    MomentCalibration::fit(&grid_from_liberty(tables), s_ref, c_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{C_REF, S_REF};
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+    use nsigma_cells::liberty::{parse_liberty, write_liberty, LibertyCell};
+    use nsigma_process::Technology;
+
+    #[test]
+    fn liberty_round_trip_preserves_the_calibration() {
+        let tech = Technology::synthetic_28nm();
+        let cell = Cell::new(CellKind::Nand2, 2);
+        let cfg = CharacterizeConfig::standard(2000, 5);
+        let grid = characterize_cell(&tech, &cell, &cfg);
+
+        // Direct calibration from the characterization.
+        let direct = MomentCalibration::fit(&grid, S_REF, C_REF).unwrap();
+
+        // Calibration through the .lib text round trip.
+        let text = write_liberty(
+            "rt",
+            &tech,
+            &[LibertyCell {
+                cell: cell.clone(),
+                grid: grid.clone(),
+            }],
+        );
+        let tables = parse_liberty(&text).unwrap();
+        let bridged = calibration_from_liberty(&tables["NAND2x2"], S_REF, C_REF).unwrap();
+
+        // Predictions agree to the Liberty text precision (6 significant
+        // digits in ns ⇒ sub-femtosecond).
+        for &(s, c) in &[(10e-12, 0.4e-15), (80e-12, 1.3e-15), (250e-12, 5e-15)] {
+            let a = direct.moments_at(s, c);
+            let b = bridged.moments_at(s, c);
+            assert!(
+                (a.mean - b.mean).abs() < 2e-14,
+                "mean at ({s},{c}): {} vs {}",
+                a.mean,
+                b.mean
+            );
+            assert!((a.std - b.std).abs() < 2e-14);
+            assert!((a.skewness - b.skewness).abs() < 1e-3);
+            assert!((a.kurtosis - b.kurtosis).abs() < 1e-3);
+            assert!((direct.output_slew_at(s, c) - bridged.output_slew_at(s, c)).abs() < 2e-13);
+        }
+    }
+
+    #[test]
+    fn grid_reconstruction_shapes() {
+        let tables = LibertyTables {
+            slews: vec![10e-12, 50e-12],
+            loads: vec![0.4e-15, 2e-15, 4e-15],
+            mean: vec![1e-11; 6],
+            sigma: vec![1e-12; 6],
+            skewness: vec![0.5; 6],
+            kurtosis: vec![3.5; 6],
+            transition: vec![2e-11; 6],
+        };
+        let grid = grid_from_liberty(&tables);
+        assert_eq!(grid.points.len(), 6);
+        assert_eq!(grid.at(1, 2).slew, 50e-12);
+        assert_eq!(grid.at(1, 2).load, 4e-15);
+        assert!(grid.at(0, 0).quantiles.is_monotone());
+    }
+}

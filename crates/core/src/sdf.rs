@@ -1,0 +1,244 @@
+//! SDF (Standard Delay Format) export of the N-sigma analysis.
+//!
+//! Sign-off hands timing back to simulation/ECO tools as SDF triplets
+//! `(min:typ:max)`. This module writes the N-sigma timer's view of a design
+//! with the paper's sigma levels in those roles: `min = T(−3σ)`,
+//! `typ = T(0σ)`, `max = T(+3σ)` — per cell arc (`IOPATH`) and per wire
+//! (`INTERCONNECT`), which is exactly the consumption model the paper's
+//! intro describes for sign-off quantiles.
+
+use crate::sta::NsigmaTimer;
+use nsigma_mc::design::Design;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use std::fmt::Write as _;
+
+/// Writes an SDF 3.0 file for the whole design as analyzed by the timer.
+///
+/// Cell arcs are evaluated at the stage's resolved operating condition
+/// (the same block-based propagation `analyze_design` uses); wire triplets
+/// come from the calibrated eq. (9) quantiles per sink.
+///
+/// # Panics
+///
+/// Panics if the design references cells the timer was not built for.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use nsigma_cells::CellLibrary;
+/// # use nsigma_core::sdf::write_sdf;
+/// # use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+/// # use nsigma_mc::design::Design;
+/// # use nsigma_netlist::generators::arith::ripple_adder;
+/// # use nsigma_netlist::mapping::map_to_cells;
+/// # use nsigma_process::Technology;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::synthetic_28nm();
+/// let lib = CellLibrary::standard();
+/// let netlist = map_to_cells(&ripple_adder(4), &lib)?;
+/// let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
+/// let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(1))?;
+/// let sdf = write_sdf(&timer, &design);
+/// assert!(sdf.contains("(DELAYFILE"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_sdf(timer: &NsigmaTimer, design: &Design) -> String {
+    let mut out = String::new();
+    writeln!(out, "(DELAYFILE").expect("write");
+    writeln!(out, "  (SDFVERSION \"3.0\")").expect("write");
+    writeln!(out, "  (DESIGN \"{}\")", design.netlist.name()).expect("write");
+    writeln!(out, "  (VENDOR \"nsigma\")").expect("write");
+    writeln!(out, "  (PROGRAM \"nsigma N-sigma timer\")").expect("write");
+    writeln!(out, "  (TIMESCALE 1ps)").expect("write");
+    writeln!(
+        out,
+        "  // triplets are the N-sigma levels: (T(-3s) : T(0s) : T(+3s))"
+    )
+    .expect("write");
+
+    // Primary-input nets: interconnect triplets with the FO4 port-driver
+    // convention (the same one the golden and the Design calibration use).
+    let port_driver = crate::sta::fo4_cell();
+    for &net in design.netlist.inputs() {
+        let Some(tree) = design.parasitic(net) else { continue };
+        if tree.sinks().is_empty() {
+            continue;
+        }
+        let loads = design.load_cells(net);
+        for (pos, &(lg, lpin)) in design.netlist.net(net).loads.iter().enumerate() {
+            let base =
+                crate::wire_model::nominal_wire_mean(&design.tech, tree, &loads, &port_driver, pos);
+            let q = timer
+                .wire_model()
+                .wire_quantiles(base, &port_driver, loads[pos]);
+            let load_gate = design.netlist.gate(lg);
+            writeln!(
+                out,
+                "  (CELL (CELLTYPE \"interconnect\") (INSTANCE {})\n    (DELAY (ABSOLUTE (INTERCONNECT {} {}/A{} {}))))",
+                sanitize(&design.netlist.net(net).name),
+                sanitize(&design.netlist.net(net).name),
+                sanitize(&load_gate.name),
+                lpin + 1,
+                triplet(&q)
+            )
+            .expect("write");
+        }
+    }
+
+    // Resolve per-net slews with the same propagation analyze_design uses.
+    let order = nsigma_netlist::topo::topo_order(&design.netlist);
+    let nets = design.netlist.num_nets();
+    let mut slew = vec![timer.input_slew(); nets];
+
+    for g in order {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let net = gate.output;
+        let load = design.stage_effective_load(net);
+        let in_slew = gate
+            .inputs
+            .iter()
+            .map(|&i| slew[i.index()])
+            .fold(timer.input_slew(), f64::max);
+
+        let cal = &timer.calibrations()[cell.name()];
+        let moments = cal.moments_at(in_slew, load);
+        let cell_q = timer.quantile_model().predict(&moments);
+
+        writeln!(out, "  (CELL").expect("write");
+        writeln!(out, "    (CELLTYPE \"{}\")", cell.name()).expect("write");
+        writeln!(out, "    (INSTANCE {})", sanitize(&gate.name)).expect("write");
+        writeln!(out, "    (DELAY (ABSOLUTE").expect("write");
+        for (pin, _) in gate.inputs.iter().enumerate() {
+            writeln!(
+                out,
+                "      (IOPATH A{} Y {})",
+                pin + 1,
+                triplet(&cell_q)
+            )
+            .expect("write");
+        }
+        out.push_str("    ))\n  )\n");
+
+        // Wire entries for each sink of this net.
+        if let Some(tree) = design.parasitic(net) {
+            if !tree.sinks().is_empty() {
+                let loads = design.load_cells(net);
+                for (pos, &(lg, lpin)) in design.netlist.net(net).loads.iter().enumerate() {
+                    let base = crate::wire_model::nominal_wire_mean(
+                        &design.tech,
+                        tree,
+                        &loads,
+                        cell,
+                        pos,
+                    );
+                    let q = timer.wire_model().wire_quantiles(base, cell, loads[pos]);
+                    let load_gate = design.netlist.gate(lg);
+                    writeln!(
+                        out,
+                        "  (CELL (CELLTYPE \"interconnect\") (INSTANCE {})\n    (DELAY (ABSOLUTE (INTERCONNECT {}/Y {}/A{} {}))))",
+                        sanitize(&design.netlist.net(net).name),
+                        sanitize(&gate.name),
+                        sanitize(&load_gate.name),
+                        lpin + 1,
+                        triplet(&q)
+                    )
+                    .expect("write");
+                }
+            }
+        }
+
+        slew[net.index()] = cal.output_slew_at(in_slew, load);
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn triplet(q: &QuantileSet) -> String {
+    format!(
+        "({:.2}:{:.2}:{:.2})",
+        q[SigmaLevel::MinusThree] * 1e12,
+        q[SigmaLevel::Zero] * 1e12,
+        q[SigmaLevel::PlusThree] * 1e12
+    )
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::TimerConfig;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::CellLibrary;
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_process::Technology;
+
+    fn setup() -> (NsigmaTimer, Design) {
+        let tech = Technology::synthetic_28nm();
+        let mut lib = CellLibrary::new();
+        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+            for s in [1, 2, 4, 8] {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        let netlist = map_to_cells(&ripple_adder(4), &lib).unwrap();
+        let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 2);
+        let mut cfg = TimerConfig::standard(2);
+        cfg.char_samples = 800;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 400;
+        let timer = NsigmaTimer::build(&tech, &lib, &cfg).unwrap();
+        (timer, design)
+    }
+
+    #[test]
+    fn sdf_has_all_cells_and_wires() {
+        let (timer, design) = setup();
+        let sdf = write_sdf(&timer, &design);
+        assert!(sdf.starts_with("(DELAYFILE"));
+        assert!(sdf.trim_end().ends_with(')'));
+        // One CELL block per gate plus interconnect blocks per loaded sink.
+        let iopath_count = sdf.matches("(IOPATH").count();
+        let expected_iopaths: usize = design
+            .netlist
+            .gates()
+            .iter()
+            .map(|g| g.inputs.len())
+            .sum();
+        assert_eq!(iopath_count, expected_iopaths);
+        let interconnects = sdf.matches("(INTERCONNECT").count();
+        let expected_wires: usize = design
+            .netlist
+            .net_ids()
+            .filter(|&n| design.parasitic(n).is_some())
+            .map(|n| design.netlist.fanout(n))
+            .sum();
+        assert_eq!(interconnects, expected_wires);
+    }
+
+    #[test]
+    fn triplets_are_ordered_min_typ_max() {
+        let (timer, design) = setup();
+        let sdf = write_sdf(&timer, &design);
+        for line in sdf.lines().filter(|l| l.contains("(IOPATH")) {
+            let nums: Vec<f64> = line
+                .split('(')
+                .next_back()
+                .unwrap()
+                .trim_end_matches([')', ' '])
+                .split(':')
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            assert_eq!(nums.len(), 3, "line: {line}");
+            assert!(nums[0] <= nums[1] && nums[1] <= nums[2], "line: {line}");
+            assert!(nums[0] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! The N-sigma statistical timer: the paper's full flow (Fig. 1 / Fig. 5 /
+//! eq. 10) from library characterization to path and design analysis.
+//!
+//! Building a [`NsigmaTimer`] runs the characterization flow once per
+//! library cell (moments over the slew×load grid → [`MomentCalibration`]),
+//! fits the Table I quantile coefficients across the whole library, and
+//! calibrates the wire variability model. Analysis then needs *no* Monte
+//! Carlo: each stage is two table lookups and a handful of multiplies,
+//! which is where the paper's ~100× speedup over SPICE MC comes from.
+
+use crate::calibration::{MomentCalibration, C_REF, S_REF};
+use crate::cell_model::CellQuantileModel;
+use crate::wire_model::{WireCalibConfig, WireVariabilityModel};
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::{Cell, CellKind, CellLibrary};
+use nsigma_mc::design::Design;
+use nsigma_netlist::ir::{NetDriver, NetId};
+use nsigma_netlist::topo::Path;
+use nsigma_process::Technology;
+use nsigma_stats::quantile::QuantileSet;
+use nsigma_stats::regression::FitError;
+use std::collections::HashMap;
+
+/// Configuration for building a timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerConfig {
+    /// MC samples per characterization grid point (paper: 10 000).
+    pub char_samples: usize,
+    /// Wire-model calibration settings.
+    pub wire: WireCalibConfig,
+    /// Transition time assumed at primary inputs (s).
+    pub input_slew: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TimerConfig {
+    /// A fast-but-faithful configuration (3 k samples/point) for tests and
+    /// examples; the experiment binaries crank `char_samples` to 10 k.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            char_samples: 3000,
+            wire: WireCalibConfig::standard(seed ^ 0x5757),
+            input_slew: 10e-12,
+            seed,
+        }
+    }
+}
+
+/// Per-stage timing detail of a path analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Gate instance name.
+    pub gate: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Input slew assumed for this stage (s).
+    pub input_slew: f64,
+    /// Output load used for moment calibration (F).
+    pub load: f64,
+    /// The stage's N-sigma cell delay quantiles.
+    pub cell_quantiles: QuantileSet,
+    /// The stage's N-sigma wire delay quantiles (zero set if unloaded).
+    pub wire_quantiles: QuantileSet,
+}
+
+/// The result of analyzing one path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTiming {
+    /// Path arrival quantiles — the paper's `T_path(nσ)` of eq. (10).
+    pub quantiles: QuantileSet,
+    /// Per-stage breakdown, source first.
+    pub stages: Vec<StageTiming>,
+}
+
+/// Error building a timer.
+#[derive(Debug)]
+pub enum BuildTimerError {
+    /// A regression failed (degenerate characterization data).
+    Fit(FitError),
+    /// The library has no cells.
+    EmptyLibrary,
+}
+
+impl std::fmt::Display for BuildTimerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildTimerError::Fit(e) => write!(f, "coefficient fit failed: {e}"),
+            BuildTimerError::EmptyLibrary => write!(f, "cannot build a timer for an empty library"),
+        }
+    }
+}
+
+impl std::error::Error for BuildTimerError {}
+
+impl From<FitError> for BuildTimerError {
+    fn from(e: FitError) -> Self {
+        BuildTimerError::Fit(e)
+    }
+}
+
+/// The N-sigma statistical timer.
+pub struct NsigmaTimer {
+    tech: Technology,
+    quantile_model: CellQuantileModel,
+    calibrations: HashMap<String, MomentCalibration>,
+    wire_model: WireVariabilityModel,
+    input_slew: f64,
+}
+
+impl NsigmaTimer {
+    /// Builds the timer: characterizes every library cell, fits the Table I
+    /// coefficients and calibrates the wire model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTimerError`] on an empty library or degenerate fits.
+    pub fn build(
+        tech: &Technology,
+        lib: &CellLibrary,
+        cfg: &TimerConfig,
+    ) -> Result<Self, BuildTimerError> {
+        if lib.is_empty() {
+            return Err(BuildTimerError::EmptyLibrary);
+        }
+        let char_cfg = CharacterizeConfig::standard(cfg.char_samples, cfg.seed);
+        let mut calibrations = HashMap::new();
+        let mut training = Vec::new();
+        for (_, cell) in lib.iter() {
+            let grid = characterize_cell(tech, cell, &char_cfg);
+            for p in grid.iter() {
+                training.push((p.moments, p.quantiles));
+            }
+            calibrations.insert(cell.name().to_string(), MomentCalibration::fit(&grid, S_REF, C_REF)?);
+        }
+        let quantile_model = CellQuantileModel::fit(&training)?;
+        let all_cells: Vec<Cell> = lib.iter().map(|(_, c)| c.clone()).collect();
+        let wire_model = WireVariabilityModel::calibrate_with_cells(tech, &cfg.wire, &all_cells)?;
+        Ok(Self {
+            tech: tech.clone(),
+            quantile_model,
+            calibrations,
+            wire_model,
+            input_slew: cfg.input_slew,
+        })
+    }
+
+    /// Constructs a timer from already-fitted components (used by the
+    /// coefficient store and by ablation experiments).
+    pub fn from_parts(
+        tech: Technology,
+        quantile_model: CellQuantileModel,
+        calibrations: HashMap<String, MomentCalibration>,
+        wire_model: WireVariabilityModel,
+        input_slew: f64,
+    ) -> Self {
+        Self {
+            tech,
+            quantile_model,
+            calibrations,
+            wire_model,
+            input_slew,
+        }
+    }
+
+    /// The fitted Table I model.
+    pub fn quantile_model(&self) -> &CellQuantileModel {
+        &self.quantile_model
+    }
+
+    /// The calibrated wire model.
+    pub fn wire_model(&self) -> &WireVariabilityModel {
+        &self.wire_model
+    }
+
+    /// Per-cell moment calibrations, keyed by cell name.
+    pub fn calibrations(&self) -> &HashMap<String, MomentCalibration> {
+        &self.calibrations
+    }
+
+    /// The assumed primary-input slew (s).
+    pub fn input_slew(&self) -> f64 {
+        self.input_slew
+    }
+
+    /// Replaces the wire model (ablation hook).
+    pub fn set_wire_model(&mut self, model: WireVariabilityModel) {
+        self.wire_model = model;
+    }
+
+    /// Analyzes one path: the paper's eq. (10), summing cell and wire
+    /// sigma-level quantiles stage by stage with mean-slew propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path references a cell the timer was not built for.
+    pub fn analyze_path(&self, design: &Design, path: &Path) -> PathTiming {
+        let mut total = QuantileSet::default();
+        let mut stages = Vec::with_capacity(path.len());
+        let mut slew = self.input_slew;
+
+        for (k, &g) in path.gates.iter().enumerate() {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            let net = gate.output;
+            let load = design.stage_effective_load(net);
+
+            let cal = self
+                .calibrations
+                .get(cell.name())
+                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
+            let moments = cal.moments_at(slew, load);
+            let cell_q = self.quantile_model.predict(&moments);
+
+            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, path.gates.get(k + 1).copied());
+
+            total = total.add(&cell_q).add(&wire_q);
+            stages.push(StageTiming {
+                gate: gate.name.clone(),
+                cell: cell.name().to_string(),
+                input_slew: slew,
+                load,
+                cell_quantiles: cell_q,
+                wire_quantiles: wire_q,
+            });
+            slew = (cal.output_slew_at(slew, load) + 2.0 * wire_mean).max(0.0);
+        }
+        PathTiming {
+            quantiles: total,
+            stages,
+        }
+    }
+
+    /// The N-sigma wire quantiles of a stage's output net toward the next
+    /// path gate (or its first sink). Returns the zero set for unloaded
+    /// nets. Also returns the mean wire delay for slew propagation.
+    fn stage_wire_quantiles(
+        &self,
+        design: &Design,
+        net: NetId,
+        driver: &Cell,
+        next_gate: Option<nsigma_netlist::ir::GateId>,
+    ) -> (QuantileSet, f64) {
+        let Some(tree) = design.parasitic(net) else {
+            return (QuantileSet::default(), 0.0);
+        };
+        if tree.sinks().is_empty() {
+            return (QuantileSet::default(), 0.0);
+        }
+        let loads = design.load_cells(net);
+        let bases = crate::wire_model::nominal_wire_means(&self.tech, tree, &loads, driver);
+        // The sink feeding the next path gate, or — in block-based mode
+        // (no specific successor) — the worst sink of the net.
+        let pos = next_gate
+            .and_then(|next| {
+                design
+                    .netlist
+                    .net(net)
+                    .loads
+                    .iter()
+                    .position(|&(lg, _)| lg == next)
+            })
+            .unwrap_or_else(|| {
+                bases
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            });
+        let base = bases[pos];
+        let load_cell = loads[pos];
+        let q = self.wire_model.wire_quantiles(base, driver, load_cell);
+        let mean = self.wire_model.predict_mean(base, driver, load_cell);
+        (q, mean)
+    }
+
+    /// Analyzes the nominal critical path of a design: finds it, then
+    /// applies [`NsigmaTimer::analyze_path`].
+    ///
+    /// Returns `None` for an empty design.
+    pub fn analyze_critical_path(&self, design: &Design) -> Option<(Path, PathTiming)> {
+        let path = nsigma_mc::path_sim::find_critical_path(design)?;
+        let timing = self.analyze_path(design, &path);
+        Some((path, timing))
+    }
+
+    /// Block-based whole-design analysis with the default pessimistic
+    /// (elementwise-max) merge. See [`NsigmaTimer::analyze_design_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no gates.
+    pub fn analyze_design(&self, design: &Design) -> QuantileSet {
+        self.analyze_design_with(design, crate::stat_max::MergeRule::Pessimistic)
+    }
+
+    /// Block-based whole-design analysis: propagates arrival quantiles to
+    /// every net, merging reconvergent arrivals under the chosen rule
+    /// ([`crate::stat_max::MergeRule`]), and returns the worst
+    /// primary-output quantiles.
+    ///
+    /// This visits every cell and net once — the paper's observation that
+    /// its runtime is proportional to the number of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no gates.
+    pub fn analyze_design_with(
+        &self,
+        design: &Design,
+        rule: crate::stat_max::MergeRule,
+    ) -> QuantileSet {
+        assert!(design.netlist.num_gates() > 0, "design has no gates");
+        let order = nsigma_netlist::topo::topo_order(&design.netlist);
+        let nets = design.netlist.num_nets();
+        let mut arrival = vec![QuantileSet::default(); nets];
+        let mut slew = vec![self.input_slew; nets];
+
+        for g in order {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            let net = gate.output;
+            let load = design.stage_effective_load(net);
+
+            // Merge fanin arrivals (elementwise max) and take the slew of
+            // the worst fanin by +3σ.
+            let mut in_arrival = QuantileSet::default();
+            let mut in_slew = self.input_slew;
+            let mut worst = f64::NEG_INFINITY;
+            for &i in &gate.inputs {
+                let a = &arrival[i.index()];
+                in_arrival = if worst == f64::NEG_INFINITY {
+                    *a
+                } else {
+                    rule.merge(&in_arrival, a)
+                };
+                let key = a[nsigma_stats::quantile::SigmaLevel::PlusThree];
+                if key > worst {
+                    worst = key;
+                    in_slew = slew[i.index()];
+                }
+            }
+
+            let cal = self
+                .calibrations
+                .get(cell.name())
+                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
+            let moments = cal.moments_at(in_slew, load);
+            let cell_q = self.quantile_model.predict(&moments);
+            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
+
+            arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
+            slew[net.index()] = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+        }
+
+        let mut worst: Option<QuantileSet> = None;
+        for &o in design.netlist.outputs() {
+            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
+                let a = arrival[o.index()];
+                worst = Some(match worst {
+                    Some(w) => rule.merge(&w, &a),
+                    None => a,
+                });
+            }
+        }
+        worst.unwrap_or_default()
+    }
+
+    /// Early (hold-side) whole-design analysis: the *earliest* arrival at a
+    /// primary output, propagating the minimum over fanins and the
+    /// shortest-arrival input slew. Together with
+    /// [`NsigmaTimer::analyze_design`] this brackets every output's arrival
+    /// window — the pair a hold/setup sign-off consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no gates.
+    pub fn analyze_design_early(&self, design: &Design) -> QuantileSet {
+        assert!(design.netlist.num_gates() > 0, "design has no gates");
+        let order = nsigma_netlist::topo::topo_order(&design.netlist);
+        let nets = design.netlist.num_nets();
+        let mut arrival = vec![QuantileSet::default(); nets];
+        let mut slew = vec![self.input_slew; nets];
+
+        for g in order {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            let net = gate.output;
+            let load = design.stage_effective_load(net);
+
+            // Earliest fanin (elementwise min) and its slew.
+            let mut in_arrival: Option<QuantileSet> = None;
+            let mut in_slew = self.input_slew;
+            let mut best = f64::INFINITY;
+            for &i in &gate.inputs {
+                let a = arrival[i.index()];
+                in_arrival = Some(match in_arrival {
+                    Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
+                    None => a,
+                });
+                let key = a[nsigma_stats::quantile::SigmaLevel::MinusThree];
+                if key < best {
+                    best = key;
+                    in_slew = slew[i.index()];
+                }
+            }
+            let in_arrival = in_arrival.unwrap_or_default();
+
+            let cal = self
+                .calibrations
+                .get(cell.name())
+                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
+            let moments = cal.moments_at(in_slew, load);
+            let cell_q = self.quantile_model.predict(&moments);
+            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
+
+            arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
+            slew[net.index()] = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+        }
+
+        let mut earliest: Option<QuantileSet> = None;
+        for &o in design.netlist.outputs() {
+            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
+                let a = arrival[o.index()];
+                earliest = Some(match earliest {
+                    Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
+                    None => a,
+                });
+            }
+        }
+        earliest.unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for NsigmaTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NsigmaTimer")
+            .field("cells", &self.calibrations.len())
+            .field("input_slew", &self.input_slew)
+            .finish()
+    }
+}
+
+/// Builds a library containing only the cell kinds/strengths a netlist
+/// actually uses — trimming characterization time for small experiments.
+pub fn used_cells(design: &Design) -> Vec<Cell> {
+    let mut names: Vec<&str> = design
+        .netlist
+        .gates()
+        .iter()
+        .map(|g| design.lib.cell(g.cell).name())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|n| {
+            design.lib.find(n).map(|id| design.lib.cell(id).clone())
+        })
+        .collect()
+}
+
+/// Convenience: an INVx4 (FO4) cell, the wire-model baseline.
+pub fn fo4_cell() -> Cell {
+    Cell::new(CellKind::Inv, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_stats::quantile::SigmaLevel;
+
+    /// A small library restricted to what the test designs use keeps the
+    /// build under a second.
+    fn small_lib() -> CellLibrary {
+        let mut lib = CellLibrary::new();
+        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Xor2, CellKind::Buf] {
+            for s in [1, 2, 4, 8] {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        lib
+    }
+
+    fn adder_design(lib: &CellLibrary) -> Design {
+        let tech = Technology::synthetic_28nm();
+        let nl = map_to_cells(&ripple_adder(6), lib).unwrap();
+        Design::with_generated_parasitics(tech, lib.clone(), nl, 21)
+    }
+
+    fn quick_timer(lib: &CellLibrary) -> NsigmaTimer {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = TimerConfig::standard(77);
+        cfg.char_samples = 1500;
+        cfg.wire.nets = 2;
+        cfg.wire.samples = 800;
+        NsigmaTimer::build(&tech, lib, &cfg).unwrap()
+    }
+
+    #[test]
+    fn path_quantiles_match_golden_mc_within_paper_band() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let path = find_critical_path(&design).unwrap();
+
+        let model = timer.analyze_path(&design, &path);
+        let golden = simulate_path_mc(
+            &design,
+            &path,
+            &PathMcConfig {
+                samples: 3000,
+                seed: 5,
+                input_slew: 10e-12,
+            },
+        );
+
+        for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+            let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl])
+                .abs()
+                * 100.0;
+            // Paper band: ≤ 6.6% at +3σ, up to 8.7% at −3σ (their Table
+            // III). The −3σ side is the harder one — the worst-arc max()
+            // shortens left tails per cell in a kind-dependent way the
+            // global Table I coefficients only partly capture — so it gets
+            // the wider unit-test budget (the full-budget numbers are in
+            // the table3 binary).
+            let tol = if lvl == SigmaLevel::MinusThree { 18.0 } else { 12.0 };
+            assert!(
+                rel < tol,
+                "{lvl}: model {:.1} ps vs golden {:.1} ps ({rel:.1}%)",
+                model.quantiles[lvl] * 1e12,
+                golden.quantiles[lvl] * 1e12
+            );
+        }
+        assert_eq!(model.stages.len(), path.len());
+        assert!(model.quantiles.is_monotone());
+    }
+
+    #[test]
+    fn design_analysis_bounds_path_analysis() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let (_, path_timing) = timer.analyze_critical_path(&design).unwrap();
+        let worst = timer.analyze_design(&design);
+        // Block-based max-merge is pessimistic: it can only exceed the
+        // single-path estimate (numerically allow a hair of slack).
+        assert!(
+            worst[SigmaLevel::PlusThree] >= path_timing.quantiles[SigmaLevel::PlusThree] * 0.999,
+            "design {:.2} ps vs path {:.2} ps",
+            worst[SigmaLevel::PlusThree] * 1e12,
+            path_timing.quantiles[SigmaLevel::PlusThree] * 1e12
+        );
+    }
+
+    #[test]
+    fn early_analysis_lower_bounds_late() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let early = timer.analyze_design_early(&design);
+        let late = timer.analyze_design(&design);
+        assert!(early.is_monotone());
+        for lvl in SigmaLevel::ALL {
+            assert!(
+                early[lvl] <= late[lvl] + 1e-18,
+                "{lvl}: early {} vs late {}",
+                early[lvl],
+                late[lvl]
+            );
+        }
+        // On a circuit with both short and long cones, the gap is real.
+        assert!(early[SigmaLevel::Zero] < late[SigmaLevel::Zero]);
+    }
+
+    #[test]
+    fn used_cells_trims_library() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let used = used_cells(&design);
+        assert!(!used.is_empty());
+        assert!(used.len() <= lib.len());
+    }
+
+    #[test]
+    fn timer_debug_is_nonempty() {
+        let lib = small_lib();
+        let timer = quick_timer(&lib);
+        let s = format!("{timer:?}");
+        assert!(s.contains("NsigmaTimer"));
+    }
+}

@@ -1,0 +1,692 @@
+//! The N-sigma wire delay model of the paper's §IV: Elmore mean plus a
+//! variability calibrated by driver/load cell-specific coefficients
+//! (eqs. 5–9).
+//!
+//! Per Pelgrom's law (eq. 5), a cell's delay variability scales as
+//! `1/√(n_stack · strength)`; normalized to the FO4 inverter (INVx4) this is
+//! the *cell-specific coefficient* `X_cell` of eq. (6). The wire variability
+//! is a fitted linear combination of the driver and load coefficients
+//! (eq. 7), and the sigma-level wire quantiles follow from eq. (9):
+//! `T_w(nσ) = (1 + n·X_w) · T_Elmore`.
+
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::timing::sample_arc;
+use nsigma_interconnect::generator::random_net;
+use nsigma_interconnect::rctree::RcTree;
+use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
+use nsigma_process::{Technology, VariationModel};
+use nsigma_stats::linalg::Matrix;
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::QuantileSet;
+use nsigma_stats::regression::{ols, FitError};
+use nsigma_stats::rng::SeedStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The theoretical cell-specific coefficient of eq. (5)/(6):
+/// `X = √(n_FO4·strength_FO4 / (n_cell·strength_cell))`, with INVx4 as the
+/// baseline (n = 1, strength = 4).
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::cell::{Cell, CellKind};
+/// use nsigma_core::wire_model::cell_coefficient;
+///
+/// // INVx4 is the baseline by construction.
+/// assert!((cell_coefficient(&Cell::new(CellKind::Inv, 4)) - 1.0).abs() < 1e-12);
+/// // A NAND2x2 stacks 2 transistors at strength 2: X = √(4/4) = 1.
+/// assert!((cell_coefficient(&Cell::new(CellKind::Nand2, 2)) - 1.0).abs() < 1e-12);
+/// // Weaker cells have larger coefficients.
+/// assert!(cell_coefficient(&Cell::new(CellKind::Inv, 1)) > 1.0);
+/// ```
+pub fn cell_coefficient(cell: &Cell) -> f64 {
+    let n = cell.kind().stack_depth() as f64;
+    let s = cell.strength() as f64;
+    (4.0 / (n * s)).sqrt()
+}
+
+/// Measures a cell's delay variability σ/μ by Monte Carlo at the FO4
+/// condition (10 ps slew, load = 4 × its own input capacitance).
+pub fn measure_cell_variability(tech: &Technology, cell: &Cell, samples: usize, seed: u64) -> f64 {
+    let variation = VariationModel::new(tech);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let load = 4.0 * cell.input_cap(tech);
+    let delays: Vec<f64> = (0..samples)
+        .map(|_| {
+            let g = variation.sample_global(&mut rng);
+            sample_arc(tech, &variation, cell, 10e-12, load, &g, &mut rng).delay
+        })
+        .collect();
+    Moments::from_samples(&delays).variability()
+}
+
+/// One Fig. 9 data point: a cell's theoretical vs measured coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientCheck {
+    /// Cell name.
+    pub cell: String,
+    /// The eq. (5) prediction.
+    pub theory: f64,
+    /// The MC-measured value (σ/μ normalized to INVx4).
+    pub measured: f64,
+}
+
+impl CoefficientCheck {
+    /// Relative error (%) of the theoretical coefficient.
+    pub fn error_pct(&self) -> f64 {
+        ((self.theory - self.measured) / self.measured * 100.0).abs()
+    }
+}
+
+/// Measures the cell-specific coefficients of a set of cells against the
+/// eq. (5) law — the experiment behind the paper's Fig. 9.
+pub fn check_cell_coefficients(
+    tech: &Technology,
+    cells: &[Cell],
+    samples: usize,
+    seed: u64,
+) -> Vec<CoefficientCheck> {
+    let seeds = SeedStream::new(seed);
+    let fo4 = Cell::new(CellKind::Inv, 4);
+    let r_fo4 = measure_cell_variability(tech, &fo4, samples, seeds.tagged_seed(u64::MAX));
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| CoefficientCheck {
+            cell: cell.name().to_string(),
+            theory: cell_coefficient(cell),
+            measured: measure_cell_variability(tech, cell, samples, seeds.tagged_seed(i as u64))
+                / r_fo4,
+        })
+        .collect()
+}
+
+/// The outcome of checking the wire model against golden MC on one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCheck {
+    /// Relative −3σ error (%).
+    pub minus3_err_pct: f64,
+    /// Relative +3σ error (%).
+    pub plus3_err_pct: f64,
+    /// The model's predicted quantiles.
+    pub predicted: QuantileSet,
+    /// The (anchored) golden quantiles.
+    pub golden: QuantileSet,
+    /// The pins-inclusive Elmore delay (s).
+    pub elmore: f64,
+}
+
+/// Configuration of the wire-model calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCalibConfig {
+    /// Number of random calibration nets (paper §V-C: five).
+    pub nets: usize,
+    /// MC samples per (net, driver, load) combination.
+    pub samples: usize,
+    /// Driver/load strength ladder (paper: FO1/FO2/FO4/FO8).
+    pub strengths: Vec<u32>,
+    /// Golden evaluation mode.
+    pub mode: WireGoldenMode,
+    /// Input slew at the driver (s).
+    pub input_slew: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WireCalibConfig {
+    /// The paper's setting scaled for quick turnaround: 5 nets × 4×4
+    /// strength combinations, two-pole golden.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            nets: 5,
+            samples: 2000,
+            strengths: vec![1, 2, 4, 8],
+            mode: WireGoldenMode::TwoPole,
+            input_slew: 10e-12,
+            seed,
+        }
+    }
+}
+
+/// Elmore delay at each sink of `tree` with the load-pin capacitances
+/// folded in — the paper's `T_Elmore` over the full net parasitics
+/// (eq. 4), including the pins the router sees.
+pub fn elmore_with_pins(
+    tech: &Technology,
+    tree: &RcTree,
+    loads: &[&Cell],
+) -> Vec<f64> {
+    let mut loaded = tree.clone();
+    for (k, &sink) in tree.sinks().iter().enumerate() {
+        loaded.add_cap(sink, loads[k].input_cap(tech));
+    }
+    let m1 = nsigma_interconnect::elmore::elmore_all(&loaded);
+    tree.sinks().iter().map(|s| m1[s.index()]).collect()
+}
+
+/// The deterministic (MC-free) nominal wire delay of one sink under the
+/// delay-calculator decomposition: the two-pole source→sink estimate with
+/// the driver's nominal resistance folded in, minus the lumped
+/// effective-load baseline `ln2·R_drv·C_eff`.
+///
+/// This is the model's `μ_w` — the two-moment generalization of the paper's
+/// `T_Elmore` mean (eq. 4), computed from the same parasitics with no
+/// simulation.
+pub fn nominal_wire_mean(
+    tech: &Technology,
+    tree: &RcTree,
+    loads: &[&Cell],
+    driver: &Cell,
+    pos: usize,
+) -> f64 {
+    nominal_wire_means(tech, tree, loads, driver)[pos]
+}
+
+/// [`nominal_wire_mean`] for every sink at once (one moment pass).
+pub fn nominal_wire_means(
+    tech: &Technology,
+    tree: &RcTree,
+    loads: &[&Cell],
+    driver: &Cell,
+) -> Vec<f64> {
+    use nsigma_interconnect::elmore::moments_all;
+    use nsigma_interconnect::metrics::two_pole_delay;
+    use nsigma_mc::wire_sim::{effective_cap, fold_driver};
+
+    let rd = driver.drive_resistance(tech);
+    let mut loaded = tree.clone();
+    for (k, &sink) in tree.sinks().iter().enumerate() {
+        loaded.add_cap(sink, loads[k].input_cap(tech));
+    }
+    let c_eff = effective_cap(tech, driver, &loaded, loaded.total_cap());
+    let (folded, _root, sinks) = fold_driver(&loaded, rd);
+    let (m1, m2) = moments_all(&folded);
+    let lumped = core::f64::consts::LN_2 * rd * c_eff;
+    sinks
+        .iter()
+        .map(|s| two_pole_delay(m1[s.index()].max(1e-18), m2[s.index()].max(1e-33)) - lumped)
+        .collect()
+}
+
+/// Nominal transient/two-pole anchor for a loaded net — the same control
+/// variate [`nsigma_mc::design::Design`] applies to the fast golden mode.
+fn nominal_anchor(tech: &Technology, tree: &RcTree, driver: &Cell, load: &Cell) -> f64 {
+    use nsigma_interconnect::elmore::moments_all;
+    use nsigma_interconnect::metrics::two_pole_delay;
+    use nsigma_interconnect::transient::{simulate_ramp, TransientConfig};
+    use nsigma_mc::wire_sim::fold_driver;
+
+    let rd = driver.drive_resistance(tech);
+    let mut loaded = tree.clone();
+    loaded.add_cap(tree.sinks()[0], load.input_cap(tech));
+    let total_cap = loaded.total_cap();
+    let slew = 10e-12;
+    let c_eff = nsigma_mc::wire_sim::effective_cap(tech, driver, &loaded, total_cap);
+    let tau = rd * c_eff;
+    let cell_ramp = nsigma_mc::wire_sim::lumped_t50_ramp(tau, slew);
+    let cell_step = core::f64::consts::LN_2 * tau;
+    let mut cfg = TransientConfig::auto(&loaded, tech.vdd, slew, rd);
+    cfg.dt = (cfg.t_max / 4000.0).max(1e-16);
+    let reference = simulate_ramp(&loaded, &cfg);
+    let (folded, _root_img, sinks) = fold_driver(&loaded, rd);
+    let (m1, m2) = moments_all(&folded);
+    let tp = two_pole_delay(m1[sinks[0].index()].max(1e-18), m2[sinks[0].index()].max(1e-33))
+        - cell_step;
+    let tr = reference.sink_cross[0] - cell_ramp;
+    if tp.abs() < 0.02e-12 || tr.abs() < 0.02e-12 {
+        1.0
+    } else {
+        (tr / tp).clamp(0.3, 3.0)
+    }
+}
+
+/// The calibrated wire variability model (eqs. 7–9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVariabilityModel {
+    /// Weights `[c₀, α, β]` on `[1, X_FI·r_FO4, X_FO·r_FO4]` for X_w.
+    xw_coeffs: Vec<f64>,
+    /// Same weights for the lower-tail variability `(μ − q₋₃σ)/(3μ)`.
+    xw_minus_coeffs: Vec<f64>,
+    /// Same weights for the upper-tail variability `(q₊₃σ − μ)/(3μ)`.
+    xw_plus_coeffs: Vec<f64>,
+    /// Weights `[m₀, m₁, m₂]` on `[1, X_FI, X_FO]` for the mean ratio
+    /// (golden mean / Elmore) — the driver/load interaction on the mean.
+    mean_coeffs: Vec<f64>,
+    /// Measured σ/μ of the INVx4 baseline.
+    r_fo4: f64,
+    /// Per-cell measured coefficients (σ/μ normalized to INVx4), keyed by
+    /// cell name. The paper computes `X_FI`/`X_FO` per driver/load cell as
+    /// "the main process of the whole timing analysis"; unknown cells fall
+    /// back to the eq. (5) law.
+    measured: std::collections::HashMap<String, f64>,
+}
+
+impl WireVariabilityModel {
+    /// Calibrates the model against golden wire Monte Carlo on random nets
+    /// with INV drivers/loads over the configured strength ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if the calibration sweep is too small.
+    pub fn calibrate(tech: &Technology, cfg: &WireCalibConfig) -> Result<Self, FitError> {
+        let seeds = SeedStream::new(cfg.seed);
+        let fo4 = Cell::new(CellKind::Inv, 4);
+        let r_fo4 = measure_cell_variability(tech, &fo4, cfg.samples.max(4000), seeds.tagged_seed(u64::MAX));
+
+        let mut xw_rows = Vec::new();
+        let mut xw_y = Vec::new();
+        let mut xw_minus_y = Vec::new();
+        let mut xw_plus_y = Vec::new();
+        let mut mean_rows = Vec::new();
+        let mut mean_y = Vec::new();
+
+        for net_idx in 0..cfg.nets {
+            let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(net_idx as u64));
+            let tree = random_net(&mut rng, 1);
+            for &fi in &cfg.strengths {
+                for &fo in &cfg.strengths {
+                    let driver = Cell::new(CellKind::Inv, fi);
+                    let load = Cell::new(CellKind::Inv, fo);
+                    let base_mean = nominal_wire_mean(tech, &tree, &[&load], &driver, 0);
+                    let mc_cfg = WireMcConfig {
+                        samples: cfg.samples,
+                        seed: seeds.tagged_seed(((net_idx * 64 + fi as usize) * 64 + fo as usize) as u64),
+                        input_slew: cfg.input_slew,
+                        mode: cfg.mode,
+                    };
+                    let res = simulate_wire_mc(tech, &tree, &driver, &[&load], &mc_cfg);
+                    let m = &res[0].moments;
+                    let q = &res[0].quantiles;
+                    // In two-pole mode, anchor the mean with the nominal
+                    // transient ratio — the same control variate the golden
+                    // path MC applies — so the model's mean is consistent
+                    // with both golden modes.
+                    let anchor = match cfg.mode {
+                        WireGoldenMode::TwoPole => nominal_anchor(tech, &tree, &driver, &load),
+                        WireGoldenMode::Transient => 1.0,
+                    };
+                    // Skip degenerate observations (near-zero wire delay
+                    // makes σ/μ meaningless).
+                    if m.mean.abs() < 0.02e-12 || base_mean.abs() < 0.02e-12 {
+                        continue;
+                    }
+                    let x_fi = cell_coefficient(&driver);
+                    let x_fo = cell_coefficient(&load);
+                    xw_rows.push(vec![1.0, x_fi * r_fo4, x_fo * r_fo4]);
+                    xw_y.push(m.std / m.mean.abs());
+                    // Asymmetric tail variabilities (the wire distribution
+                    // is right-skewed — paper Fig. 7): lower/upper spreads
+                    // in units of 3μ, fitted separately.
+                    use nsigma_stats::quantile::SigmaLevel;
+                    xw_minus_y.push((m.mean - q[SigmaLevel::MinusThree]) / (3.0 * m.mean.abs()));
+                    xw_plus_y.push((q[SigmaLevel::PlusThree] - m.mean) / (3.0 * m.mean.abs()));
+                    mean_rows.push(vec![1.0, x_fi, x_fo]);
+                    mean_y.push(m.mean * anchor / base_mean);
+                }
+            }
+        }
+
+        let x = Matrix::from_rows(&xw_rows);
+        let xw_fit = ols(&x, &xw_y)?;
+        let xw_minus_fit = ols(&x, &xw_minus_y)?;
+        let xw_plus_fit = ols(&x, &xw_plus_y)?;
+        let mean_fit = ols(&Matrix::from_rows(&mean_rows), &mean_y)?;
+        Ok(Self {
+            xw_coeffs: xw_fit.coefficients,
+            xw_minus_coeffs: xw_minus_fit.coefficients,
+            xw_plus_coeffs: xw_plus_fit.coefficients,
+            mean_coeffs: mean_fit.coefficients,
+            r_fo4,
+            measured: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Calibrates the model and additionally measures the cell-specific
+    /// coefficient of every given cell (σ/μ at FO4, normalized to INVx4),
+    /// as the paper's analysis flow does for each driver/load cell.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireVariabilityModel::calibrate`].
+    pub fn calibrate_with_cells(
+        tech: &Technology,
+        cfg: &WireCalibConfig,
+        cells: &[Cell],
+    ) -> Result<Self, FitError> {
+        let mut model = Self::calibrate(tech, cfg)?;
+        let seeds = SeedStream::new(cfg.seed ^ 0xCE11);
+        for (i, cell) in cells.iter().enumerate() {
+            let r = measure_cell_variability(
+                tech,
+                cell,
+                cfg.samples.max(4000),
+                seeds.tagged_seed(i as u64),
+            );
+            model
+                .measured
+                .insert(cell.name().to_string(), r / model.r_fo4);
+        }
+        Ok(model)
+    }
+
+    /// The cell-specific coefficient used at analysis time: the measured
+    /// value when the cell was characterized, else the eq. (5) law.
+    pub fn coefficient(&self, cell: &Cell) -> f64 {
+        self.measured
+            .get(cell.name())
+            .copied()
+            .unwrap_or_else(|| cell_coefficient(cell))
+    }
+
+    /// Predicts the wire variability `X_w = σ_w/μ_w` for a driver/load cell
+    /// pair (eq. 7 with the fitted weights).
+    pub fn predict_xw(&self, driver: &Cell, load: &Cell) -> f64 {
+        self.eval_xw(&self.xw_coeffs, driver, load)
+    }
+
+    /// Lower-tail variability `(μ − q₋₃σ)/(3μ)` — the asymmetric extension
+    /// of eq. (7) (see DESIGN.md).
+    pub fn predict_xw_minus(&self, driver: &Cell, load: &Cell) -> f64 {
+        self.eval_xw(&self.xw_minus_coeffs, driver, load)
+    }
+
+    /// Upper-tail variability `(q₊₃σ − μ)/(3μ)`.
+    pub fn predict_xw_plus(&self, driver: &Cell, load: &Cell) -> f64 {
+        self.eval_xw(&self.xw_plus_coeffs, driver, load)
+    }
+
+    fn eval_xw(&self, coeffs: &[f64], driver: &Cell, load: &Cell) -> f64 {
+        let x_fi = self.coefficient(driver);
+        let x_fo = self.coefficient(load);
+        (coeffs[0] + coeffs[1] * x_fi * self.r_fo4 + coeffs[2] * x_fo * self.r_fo4)
+            .clamp(0.0, 2.0)
+    }
+
+    /// Predicts the calibrated mean wire delay (s) from the nominal
+    /// two-moment base mean (see [`nominal_wire_mean`]) and the driver/load
+    /// pair's fitted correction.
+    pub fn predict_mean(&self, base_mean: f64, driver: &Cell, load: &Cell) -> f64 {
+        let x_fi = self.coefficient(driver);
+        let x_fo = self.coefficient(load);
+        let ratio =
+            self.mean_coeffs[0] + self.mean_coeffs[1] * x_fi + self.mean_coeffs[2] * x_fo;
+        base_mean * ratio
+    }
+
+    /// The sigma-level wire quantiles of eq. (9),
+    /// `T_w(nσ) = (1 + n·X_w) · μ_w`, with the asymmetric extension: the
+    /// lower and upper tails use separately calibrated variabilities
+    /// (the wire distribution is right-skewed, paper Fig. 7).
+    pub fn wire_quantiles(&self, base_mean: f64, driver: &Cell, load: &Cell) -> QuantileSet {
+        let mu = self.predict_mean(base_mean, driver, load);
+        let xm = self.predict_xw_minus(driver, load);
+        let xp = self.predict_xw_plus(driver, load);
+        QuantileSet::from_fn(|lvl| {
+            let n = lvl.n() as f64;
+            let x = if n < 0.0 { xm } else { xp };
+            (1.0 + n * x) * mu
+        })
+    }
+
+    /// The paper's literal symmetric eq. (9) — the ablation variant.
+    pub fn wire_quantiles_symmetric(&self, base_mean: f64, driver: &Cell, load: &Cell) -> QuantileSet {
+        let mu = self.predict_mean(base_mean, driver, load);
+        let xw = self.predict_xw(driver, load);
+        QuantileSet::from_fn(|lvl| (1.0 + lvl.n() as f64 * xw) * mu)
+    }
+
+    /// Full net-level prediction: computes the nominal two-moment mean for
+    /// the sink and applies the calibrated eq. (9) quantiles.
+    pub fn net_quantiles(
+        &self,
+        tech: &Technology,
+        tree: &RcTree,
+        loads: &[&Cell],
+        driver: &Cell,
+        pos: usize,
+    ) -> QuantileSet {
+        let base = nominal_wire_mean(tech, tree, loads, driver, pos);
+        self.wire_quantiles(base, driver, loads[pos])
+    }
+
+    /// The *uncalibrated* eq. (9) quantiles with plain Elmore as the mean —
+    /// the "Elmore" baseline column of Fig. 11.
+    pub fn elmore_quantiles(elmore: f64) -> QuantileSet {
+        QuantileSet::from_fn(|_| elmore)
+    }
+
+    /// The measured FO4 variability baseline `σ_FO4/μ_FO4`.
+    pub fn r_fo4(&self) -> f64 {
+        self.r_fo4
+    }
+
+    /// Raw fitted vectors for serialization:
+    /// `(xw, xw_minus, xw_plus, mean, r_fo4)`.
+    #[allow(clippy::type_complexity)]
+    pub fn to_raw(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+        (
+            self.xw_coeffs.clone(),
+            self.xw_minus_coeffs.clone(),
+            self.xw_plus_coeffs.clone(),
+            self.mean_coeffs.clone(),
+            self.r_fo4,
+        )
+    }
+
+    /// The measured per-cell coefficient table (name → X_cell).
+    pub fn measured_coefficients(&self) -> &std::collections::HashMap<String, f64> {
+        &self.measured
+    }
+
+    /// Inserts a measured per-cell coefficient (used by the coefficient
+    /// store when reloading).
+    pub fn insert_measured(&mut self, name: impl Into<String>, x: f64) {
+        self.measured.insert(name.into(), x);
+    }
+
+    /// Rebuilds a model from stored raw vectors — the inverse of
+    /// [`WireVariabilityModel::to_raw`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector is not length 3.
+    pub fn from_raw(
+        xw_coeffs: Vec<f64>,
+        xw_minus_coeffs: Vec<f64>,
+        xw_plus_coeffs: Vec<f64>,
+        mean_coeffs: Vec<f64>,
+        r_fo4: f64,
+    ) -> Self {
+        for v in [&xw_coeffs, &xw_minus_coeffs, &xw_plus_coeffs, &mean_coeffs] {
+            assert_eq!(v.len(), 3, "wire-model weight vectors are [c0, a, b]");
+        }
+        Self {
+            xw_coeffs,
+            xw_minus_coeffs,
+            xw_plus_coeffs,
+            mean_coeffs,
+            r_fo4,
+            measured: std::collections::HashMap::new(),
+        }
+    }
+
+    /// A degenerate model with zero variability and unit mean ratio — the
+    /// pure-Elmore ablation.
+    pub fn elmore_only() -> Self {
+        Self {
+            xw_coeffs: vec![0.0, 0.0, 0.0],
+            xw_minus_coeffs: vec![0.0, 0.0, 0.0],
+            xw_plus_coeffs: vec![0.0, 0.0, 0.0],
+            mean_coeffs: vec![1.0, 0.0, 0.0],
+            r_fo4: 0.0,
+            measured: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Evaluates the model against a golden wire MC on a given tree —
+    /// the Fig. 10 measurement. In two-pole golden mode, the golden is
+    /// anchored by the nominal transient ratio (the same control variate
+    /// used everywhere else), keeping the comparison mode-consistent.
+    pub fn check_against_golden(
+        &self,
+        tech: &Technology,
+        tree: &RcTree,
+        driver: &Cell,
+        load: &Cell,
+        mc_cfg: &WireMcConfig,
+    ) -> WireCheck {
+        use nsigma_stats::quantile::SigmaLevel;
+        let elmore = elmore_with_pins(tech, tree, &[load])[0];
+        let predicted = self.net_quantiles(tech, tree, &[load], driver, 0);
+        let golden = simulate_wire_mc(tech, tree, driver, &[load], mc_cfg);
+        let anchor = match mc_cfg.mode {
+            WireGoldenMode::TwoPole => nominal_anchor(tech, tree, driver, load),
+            WireGoldenMode::Transient => 1.0,
+        };
+        let g = golden[0].quantiles.map(|x| x * anchor);
+        let err = |lvl: SigmaLevel| ((predicted[lvl] - g[lvl]) / g[lvl] * 100.0).abs();
+        WireCheck {
+            minus3_err_pct: err(SigmaLevel::MinusThree),
+            plus3_err_pct: err(SigmaLevel::PlusThree),
+            predicted,
+            golden: g,
+            elmore,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_stats::quantile::SigmaLevel;
+
+    #[test]
+    fn coefficient_law_matches_pelgrom() {
+        // √n·√strength scaling.
+        let inv1 = cell_coefficient(&Cell::new(CellKind::Inv, 1));
+        let inv4 = cell_coefficient(&Cell::new(CellKind::Inv, 4));
+        assert!((inv1 / inv4 - 2.0).abs() < 1e-12);
+        let nand1 = cell_coefficient(&Cell::new(CellKind::Nand2, 1));
+        assert!((nand1 - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_coefficients_track_theory() {
+        // The Fig. 9 claim: eq. (5) predicts the measured normalized
+        // variability within a few percent.
+        let tech = Technology::synthetic_28nm();
+        let cells = vec![
+            Cell::new(CellKind::Inv, 1),
+            Cell::new(CellKind::Inv, 2),
+            Cell::new(CellKind::Inv, 8),
+            Cell::new(CellKind::Nand2, 4),
+        ];
+        let checks = check_cell_coefficients(&tech, &cells, 8000, 17);
+        for c in &checks {
+            // Inverter family (the FO1–FO8 sweep of the paper's Fig. 9)
+            // follows the law tightly; stacked cells deviate more because
+            // their slew-term dilution differs — that is why the analysis
+            // flow measures per-cell coefficients instead of trusting the
+            // law (see `WireVariabilityModel::coefficient`).
+            // Two real effects bend the pure eq. (5) law: the global
+            // (die-to-die) variance floor that does not shrink with device
+            // size, and the worst-of-two-arcs max() that compresses
+            // variability more for weak cells. The analysis flow therefore
+            // uses *measured* per-cell coefficients; the law is the
+            // documented approximation it falls back to.
+            let tol = if c.cell.starts_with("INV") { 22.0 } else { 30.0 };
+            assert!(
+                c.error_pct() < tol,
+                "{}: theory {:.3} vs measured {:.3} ({:.1}%)",
+                c.cell,
+                c.theory,
+                c.measured,
+                c.error_pct()
+            );
+        }
+        let inv_avg: Vec<f64> = checks
+            .iter()
+            .filter(|c| c.cell.starts_with("INV"))
+            .map(|c| c.error_pct())
+            .collect();
+        let avg = inv_avg.iter().sum::<f64>() / inv_avg.len() as f64;
+        assert!(avg < 15.0, "avg INV coefficient error {avg:.1}%");
+    }
+
+    #[test]
+    fn calibrated_model_predicts_weaker_driver_higher_xw() {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = WireCalibConfig::standard(5);
+        cfg.nets = 2;
+        cfg.samples = 800;
+        let model = WireVariabilityModel::calibrate(&tech, &cfg).unwrap();
+        let weak = model.predict_xw(&Cell::new(CellKind::Inv, 1), &Cell::new(CellKind::Inv, 4));
+        let strong = model.predict_xw(&Cell::new(CellKind::Inv, 8), &Cell::new(CellKind::Inv, 4));
+        assert!(weak > strong, "weak-driver X_w {weak} vs strong {strong}");
+        assert!(weak > 0.0 && weak < 1.0);
+    }
+
+    #[test]
+    fn wire_quantiles_follow_eq9_shape() {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = WireCalibConfig::standard(6);
+        cfg.nets = 2;
+        cfg.samples = 800;
+        let model = WireVariabilityModel::calibrate(&tech, &cfg).unwrap();
+        let d = Cell::new(CellKind::Inv, 2);
+        let l = Cell::new(CellKind::Inv, 2);
+        let q = model.wire_quantiles(5e-12, &d, &l);
+        let mu = model.predict_mean(5e-12, &d, &l);
+        let xm = model.predict_xw_minus(&d, &l);
+        let xp = model.predict_xw_plus(&d, &l);
+        assert!((q[SigmaLevel::PlusThree] - (1.0 + 3.0 * xp) * mu).abs() < 1e-20);
+        assert!((q[SigmaLevel::MinusThree] - (1.0 - 3.0 * xm) * mu).abs() < 1e-20);
+        assert!((q[SigmaLevel::Zero] - mu).abs() < 1e-20);
+        assert!(q.is_monotone());
+        // Right-skewed wires: the upper tail is wider.
+        assert!(xp >= xm, "xp {xp} vs xm {xm}");
+        // The symmetric (paper-literal) variant stays available for ablation.
+        let qs = model.wire_quantiles_symmetric(5e-12, &d, &l);
+        let xw = model.predict_xw(&d, &l);
+        assert!((qs[SigmaLevel::PlusThree] - (1.0 + 3.0 * xw) * mu).abs() < 1e-20);
+    }
+
+    #[test]
+    fn model_beats_plain_elmore_on_held_out_net() {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = WireCalibConfig::standard(7);
+        cfg.nets = 3;
+        cfg.samples = 1500;
+        let model = WireVariabilityModel::calibrate(&tech, &cfg).unwrap();
+
+        // Held-out net (different seed stream from the calibration nets).
+        let mut rng = SmallRng::seed_from_u64(0xFEED);
+        let tree = random_net(&mut rng, 1);
+        let driver = Cell::new(CellKind::Inv, 2);
+        let load = Cell::new(CellKind::Inv, 4);
+        let mc_cfg = WireMcConfig {
+            samples: 3000,
+            seed: 99,
+            input_slew: 10e-12,
+            mode: WireGoldenMode::TwoPole,
+        };
+        let check = model.check_against_golden(&tech, &tree, &driver, &load, &mc_cfg);
+        // Elmore baseline: flat quantiles at the pins-inclusive Elmore.
+        let e_hi = ((check.elmore - check.golden[SigmaLevel::PlusThree])
+            / check.golden[SigmaLevel::PlusThree]
+            * 100.0)
+            .abs();
+        assert!(
+            check.plus3_err_pct < e_hi,
+            "calibrated +3σ error {:.1}% must beat Elmore {e_hi:.1}%",
+            check.plus3_err_pct
+        );
+        assert!(
+            check.minus3_err_pct < 25.0 && check.plus3_err_pct < 25.0,
+            "errors {:.1}% / {:.1}%",
+            check.minus3_err_pct,
+            check.plus3_err_pct
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Impulse-response moments of RC trees: Elmore (m₁) and the second moment
+//! (m₂) that the D2M metric and the two-pole golden model consume.
+//!
+//! The Elmore delay from the root to sink `pN` is the paper's eq. (4):
+//! `T_Elmore = Σ_k R_pk · C_pk` — the first moment of the impulse response.
+
+use crate::rctree::{NodeId, RcTree};
+
+/// First moment (Elmore delay, s) of the impulse response at every node.
+///
+/// Computed with the classic two-pass O(n) algorithm: downstream capacitance
+/// bottom-up, then `m1(child) = m1(parent) + R_edge · C_downstream(child)`
+/// top-down.
+pub fn elmore_all(tree: &RcTree) -> Vec<f64> {
+    weighted_first_moment(tree, |node| tree.cap(node))
+}
+
+/// Elmore delay (s) at one sink — the paper's `T_Elmore` for that wire.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_interconnect::elmore::elmore_delay;
+/// use nsigma_interconnect::rctree::RcTree;
+///
+/// // Single RC segment: Elmore = R*C.
+/// let mut t = RcTree::new(0.0);
+/// let sink = t.add_node(RcTree::root(), 1000.0, 1.0e-15);
+/// t.mark_sink(sink);
+/// assert!((elmore_delay(&t, sink) - 1e-12).abs() < 1e-24);
+/// ```
+pub fn elmore_delay(tree: &RcTree, sink: NodeId) -> f64 {
+    elmore_all(tree)[sink.index()]
+}
+
+/// First two impulse-response moments `(m1, m2)` at every node.
+///
+/// `m2` uses the same downstream-accumulation pattern as Elmore, with node
+/// weights `C_k · m1(k)`:
+/// `m2(i) = Σ_k R_common(i,k) · C_k · m1(k)`.
+pub fn moments_all(tree: &RcTree) -> (Vec<f64>, Vec<f64>) {
+    let m1 = elmore_all(tree);
+    let m2 = weighted_first_moment(tree, |node| tree.cap(node) * m1[node.index()]);
+    (m1, m2)
+}
+
+/// Shared two-pass tree accumulation: for node weights `w(k)`, computes
+/// `f(i) = Σ_k R_common(root→i, root→k) · w(k)` at every node.
+fn weighted_first_moment(tree: &RcTree, weight: impl Fn(NodeId) -> f64) -> Vec<f64> {
+    let n = tree.len();
+    // Downstream weight sums (subtree totals), computed leaves-first.
+    let mut down: Vec<f64> = (0..n).map(|i| weight(NodeId(i))).collect();
+    for id in (1..n).rev() {
+        let parent = tree
+            .parent(NodeId(id))
+            .expect("non-root node has a parent")
+            .index();
+        down[parent] += down[id];
+    }
+    // Accumulate R_edge * downstream along root-to-node paths, parents first.
+    let mut acc = vec![0.0; n];
+    for id in tree.topo_order().skip(1) {
+        let parent = tree.parent(id).expect("non-root").index();
+        acc[id.index()] = acc[parent] + tree.res(id) * down[id.index()];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-checkable ladder: root -R1- a -R2- b with caps C0, C1, C2.
+    fn ladder() -> (RcTree, NodeId, NodeId) {
+        let mut t = RcTree::new(1e-15);
+        let a = t.add_node(RcTree::root(), 100.0, 2e-15);
+        let b = t.add_node(a, 200.0, 3e-15);
+        t.mark_sink(b);
+        (t, a, b)
+    }
+
+    #[test]
+    fn elmore_matches_hand_computation() {
+        let (t, a, b) = ladder();
+        // m1(a) = R1*(C1+C2) = 100 * 5e-15 = 0.5 ps
+        // m1(b) = m1(a) + R2*C2 = 0.5e-12 + 200*3e-15 = 1.1 ps
+        assert!((elmore_delay(&t, a) - 0.5e-12).abs() < 1e-24);
+        assert!((elmore_delay(&t, b) - 1.1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn elmore_is_paper_eq4_for_a_chain() {
+        // For a chain, eq. (4): sum over nodes of (path resistance to that
+        // node) * (cap at that node).
+        let mut t = RcTree::new(0.5e-15);
+        let mut cur = RcTree::root();
+        let mut nodes = vec![cur];
+        for i in 0..5 {
+            cur = t.add_node(cur, 50.0 + 10.0 * i as f64, (1.0 + i as f64) * 1e-15);
+            nodes.push(cur);
+        }
+        t.mark_sink(cur);
+        let direct: f64 = nodes
+            .iter()
+            .map(|&k| t.path_res(k).min(t.path_res(cur)) * t.cap(k))
+            .sum();
+        assert!((elmore_delay(&t, cur) - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn branch_shielding_reduces_downstream_contribution() {
+        // A side branch adds to the trunk Elmore only through shared
+        // resistance.
+        let mut trunk_only = RcTree::new(0.0);
+        let s1 = trunk_only.add_node(RcTree::root(), 100.0, 1e-15);
+        let sink1 = trunk_only.add_node(s1, 100.0, 1e-15);
+        trunk_only.mark_sink(sink1);
+
+        let mut with_branch = trunk_only.clone();
+        let br = with_branch.add_node(s1, 500.0, 4e-15);
+        with_branch.mark_sink(br);
+
+        let e_plain = elmore_delay(&trunk_only, sink1);
+        let e_branch = elmore_delay(&with_branch, sink1);
+        // Branch cap contributes through shared R (100Ω) only:
+        assert!((e_branch - e_plain - 100.0 * 4e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn second_moment_positive_and_larger_scale() {
+        let (t, _, b) = ladder();
+        let (m1, m2) = moments_all(&t);
+        assert!(m2[b.index()] > 0.0);
+        // m2 has units s²; for a single pole m2 = m1², tree gives m2 ≤ m1²·k.
+        assert!(m2[b.index()] < m1[b.index()] * m1[b.index()] * 10.0);
+    }
+
+    #[test]
+    fn single_segment_m2_is_m1_squared_times_rc() {
+        // Single RC: impulse response exp(-t/RC)/RC: m1 = RC, m2 = R*C*m1 = (RC)^2.
+        let mut t = RcTree::new(0.0);
+        let s = t.add_node(RcTree::root(), 1000.0, 1e-15);
+        t.mark_sink(s);
+        let (m1, m2) = moments_all(&t);
+        let rc = 1e-12;
+        assert!((m1[s.index()] - rc).abs() < 1e-24);
+        assert!((m2[s.index()] - rc * rc).abs() < 1e-36);
+    }
+}

@@ -1,0 +1,328 @@
+//! General (non-tree) RC networks via modified nodal analysis.
+//!
+//! Routed nets are trees, but coupling bridges, diode hookups and
+//! post-layout resistor loops produce *meshes*. The fast wire estimator the
+//! paper compares against (\[9\]) explicitly covers "tree and non-tree net
+//! structures"; this module provides the reference machinery for the
+//! non-tree case: impulse-response moments by repeated conductance solves,
+//!
+//! ```text
+//! G·m₁ = C·1,   G·m₂ = C·m₁,   …
+//! ```
+//!
+//! which reduce to Elmore/m₂ exactly on trees and generalize D2M/two-pole
+//! to arbitrary RC topologies.
+
+use self::linalgebra_shim::lu_solve_dense;
+pub use self::linalgebra_shim::DenseError;
+use crate::rctree::RcTree;
+
+/// A node index within an [`RcMesh`]. Node 0 is the driver (root).
+pub type MeshNode = usize;
+
+/// A general RC network: resistors between node pairs (or to the root) and
+/// grounded capacitances per node.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_interconnect::mesh::RcMesh;
+///
+/// // A 3-node loop: root -R- a -R- b -R- root, caps at a and b.
+/// let mut m = RcMesh::new(3);
+/// m.add_resistor(0, 1, 100.0);
+/// m.add_resistor(1, 2, 100.0);
+/// m.add_resistor(2, 0, 100.0);
+/// m.add_cap(1, 1e-15);
+/// m.add_cap(2, 1e-15);
+/// let (m1, _m2) = m.moments().expect("connected network");
+/// // Symmetric loop: both sinks see the same first moment.
+/// assert!((m1[1] - m1[2]).abs() < 1e-25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcMesh {
+    n: usize,
+    resistors: Vec<(usize, usize, f64)>,
+    caps: Vec<f64>,
+}
+
+impl RcMesh {
+    /// Creates a network with `n` nodes (node 0 is the driver) and no
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a network needs the root and at least one node");
+        Self {
+            n,
+            resistors: Vec::new(),
+            caps: vec![0.0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no elements were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.resistors.is_empty()
+    }
+
+    /// Adds a resistor between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes, `a == b`, or non-positive resistance.
+    pub fn add_resistor(&mut self, a: MeshNode, b: MeshNode, ohms: f64) {
+        assert!(a < self.n && b < self.n, "node out of range");
+        assert!(a != b, "resistor endpoints must differ");
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.resistors.push((a, b, ohms));
+    }
+
+    /// Adds grounded capacitance at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node or negative capacitance.
+    pub fn add_cap(&mut self, node: MeshNode, farads: f64) {
+        assert!(node < self.n, "node out of range");
+        assert!(farads >= 0.0, "capacitance must be non-negative");
+        self.caps[node] += farads;
+    }
+
+    /// Converts a tree into the equivalent mesh (for cross-validation).
+    pub fn from_tree(tree: &RcTree) -> Self {
+        let mut mesh = Self::new(tree.len().max(2));
+        for id in tree.topo_order() {
+            if let Some(parent) = tree.parent(id) {
+                mesh.add_resistor(parent.index(), id.index(), tree.res(id));
+            }
+            mesh.add_cap(id.index(), tree.cap(id));
+        }
+        mesh
+    }
+
+    /// First and second impulse-response moments at every node, driver at
+    /// node 0 held at the source (grounded in the small-signal picture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::Singular`] if some node is not resistively
+    /// connected to the driver.
+    pub fn moments(&self) -> Result<(Vec<f64>, Vec<f64>), DenseError> {
+        // Reduced conductance matrix over nodes 1..n (node 0 is the source
+        // reference and is eliminated).
+        let m = self.n - 1;
+        let mut g = vec![0.0; m * m];
+        for &(a, b, ohms) in &self.resistors {
+            let cond = 1.0 / ohms;
+            if a > 0 {
+                g[(a - 1) * m + (a - 1)] += cond;
+            }
+            if b > 0 {
+                g[(b - 1) * m + (b - 1)] += cond;
+            }
+            if a > 0 && b > 0 {
+                g[(a - 1) * m + (b - 1)] -= cond;
+                g[(b - 1) * m + (a - 1)] -= cond;
+            }
+        }
+
+        // m1 = G⁻¹ C·1 ; m2 = G⁻¹ C·m1.
+        let c1: Vec<f64> = (1..self.n).map(|i| self.caps[i]).collect();
+        let m1 = lu_solve_dense(&g, &c1, m)?;
+        let cm1: Vec<f64> = (1..self.n).map(|i| self.caps[i] * m1[i - 1]).collect();
+        let m2 = lu_solve_dense(&g, &cm1, m)?;
+
+        let mut full1 = vec![0.0; self.n];
+        let mut full2 = vec![0.0; self.n];
+        full1[1..].copy_from_slice(&m1);
+        full2[1..].copy_from_slice(&m2);
+        Ok((full1, full2))
+    }
+
+    /// Two-pole 50 % delay estimate at a node (step at the driver).
+    ///
+    /// # Errors
+    ///
+    /// See [`RcMesh::moments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or out of range.
+    pub fn two_pole_delay(&self, node: MeshNode) -> Result<f64, DenseError> {
+        assert!(node > 0 && node < self.n, "delay is measured at a non-root node");
+        let (m1, m2) = self.moments()?;
+        Ok(crate::metrics::two_pole_delay(
+            m1[node].max(1e-18),
+            m2[node].max(1e-33),
+        ))
+    }
+}
+
+/// Minimal dense LU used by the mesh solver (kept local so the
+/// interconnect crate does not depend on `nsigma-stats`).
+mod linalgebra_shim {
+    /// Error from the dense solve.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum DenseError {
+        /// The matrix is singular to working precision (disconnected node).
+        Singular,
+    }
+
+    impl std::fmt::Display for DenseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "conductance matrix is singular (disconnected node?)")
+        }
+    }
+
+    impl std::error::Error for DenseError {}
+
+    /// Solves `A x = b` for a dense row-major `n × n` matrix by LU with
+    /// partial pivoting.
+    pub fn lu_solve_dense(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, DenseError> {
+        let mut lu = a.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let mut pivot = col;
+            let mut max = lu[perm[col] * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[perm[row] * n + col].abs();
+                if v > max {
+                    max = v;
+                    pivot = row;
+                }
+            }
+            if max < 1e-300 {
+                return Err(DenseError::Singular);
+            }
+            perm.swap(col, pivot);
+            let p = perm[col];
+            let diag = lu[p * n + col];
+            for row in (col + 1)..n {
+                let r = perm[row];
+                let f = lu[r * n + col] / diag;
+                lu[r * n + col] = f;
+                for j in (col + 1)..n {
+                    lu[r * n + j] -= f * lu[p * n + j];
+                }
+            }
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let r = perm[i];
+            let mut sum = b[r];
+            for k in 0..i {
+                sum -= lu[r * n + k] * y[k];
+            }
+            y[i] = sum;
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let r = perm[i];
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= lu[r * n + k] * x[k];
+            }
+            x[i] = sum / lu[r * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elmore::moments_all;
+    use crate::generator::{generate_net, NetGenConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mesh_reduces_to_elmore_on_trees() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let tree = generate_net(&mut rng, &NetGenConfig::default_28nm().with_fanout(3));
+        let mesh = RcMesh::from_tree(&tree);
+        let (mesh_m1, mesh_m2) = mesh.moments().unwrap();
+        let (tree_m1, tree_m2) = moments_all(&tree);
+        for id in tree.topo_order() {
+            let i = id.index();
+            assert!(
+                (mesh_m1[i] - tree_m1[i]).abs() <= 1e-9 * tree_m1[i].max(1e-18),
+                "m1 at node {i}: {} vs {}",
+                mesh_m1[i],
+                tree_m1[i]
+            );
+            assert!(
+                (mesh_m2[i] - tree_m2[i]).abs() <= 1e-9 * tree_m2[i].max(1e-30),
+                "m2 at node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_resistance_speeds_the_far_node_up() {
+        // A chain root-a-b; closing the loop b→root adds a second path and
+        // must reduce b's effective delay.
+        let mut chain = RcMesh::new(3);
+        chain.add_resistor(0, 1, 200.0);
+        chain.add_resistor(1, 2, 200.0);
+        chain.add_cap(1, 1e-15);
+        chain.add_cap(2, 2e-15);
+        let open = chain.two_pole_delay(2).unwrap();
+
+        let mut looped = chain.clone();
+        looped.add_resistor(2, 0, 400.0);
+        let closed = looped.two_pole_delay(2).unwrap();
+        assert!(
+            closed < open,
+            "loop must speed the far node: {closed} vs {open}"
+        );
+    }
+
+    #[test]
+    fn symmetric_loop_has_symmetric_moments() {
+        let mut m = RcMesh::new(3);
+        m.add_resistor(0, 1, 150.0);
+        m.add_resistor(0, 2, 150.0);
+        m.add_resistor(1, 2, 300.0);
+        m.add_cap(1, 1e-15);
+        m.add_cap(2, 1e-15);
+        let (m1, m2) = m.moments().unwrap();
+        assert!((m1[1] - m1[2]).abs() < 1e-24);
+        assert!((m2[1] - m2[2]).abs() < 1e-36);
+    }
+
+    #[test]
+    fn disconnected_node_is_rejected() {
+        let mut m = RcMesh::new(3);
+        m.add_resistor(0, 1, 100.0);
+        m.add_cap(2, 1e-15); // node 2 floats
+        assert_eq!(m.moments(), Err(DenseError::Singular));
+    }
+
+    #[test]
+    fn single_rc_matches_closed_form() {
+        let mut m = RcMesh::new(2);
+        m.add_resistor(0, 1, 1000.0);
+        m.add_cap(1, 2e-15);
+        let (m1, m2) = m.moments().unwrap();
+        let rc = 2e-12;
+        assert!((m1[1] - rc).abs() < 1e-24);
+        assert!((m2[1] - rc * rc).abs() < 1e-36);
+        let d = m.two_pole_delay(1).unwrap();
+        assert!((d - core::f64::consts::LN_2 * rc).abs() / (core::f64::consts::LN_2 * rc) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistor endpoints must differ")]
+    fn self_loop_rejected() {
+        let mut m = RcMesh::new(2);
+        m.add_resistor(1, 1, 10.0);
+    }
+}

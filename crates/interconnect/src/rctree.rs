@@ -1,0 +1,271 @@
+//! RC-tree interconnect representation.
+//!
+//! A net's parasitics are a tree of resistive segments with grounded
+//! capacitance at every node — the standard reduced form produced by
+//! parasitic extraction. Node 0 is always the root (the driver output pin);
+//! sink nodes carry the load-cell input pins.
+
+/// Identifier of a node within one [`RcTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// Crate-internal constructor of a [`NodeId`] from a raw index.
+pub(crate) fn node_id(index: usize) -> NodeId {
+    NodeId(index)
+}
+
+impl NodeId {
+    /// The root node (driver output).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One node of the tree: the resistance of the segment from its parent and
+/// the grounded capacitance at the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Node {
+    parent: Option<usize>,
+    /// Resistance (Ω) of the edge from `parent` to this node (0 for root).
+    res: f64,
+    /// Grounded capacitance (F) at this node.
+    cap: f64,
+}
+
+/// An RC tree with a designated root and a set of sink nodes.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_interconnect::rctree::RcTree;
+///
+/// // root --1kΩ-- n1 --1kΩ-- n2 (sink), 1 fF at each node
+/// let mut t = RcTree::new(1.0e-15);
+/// let n1 = t.add_node(RcTree::root(), 1000.0, 1.0e-15);
+/// let n2 = t.add_node(n1, 1000.0, 1.0e-15);
+/// t.mark_sink(n2);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.sinks(), &[n2]);
+/// assert!((t.total_cap() - 3.0e-15).abs() < 1e-30);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcTree {
+    nodes: Vec<Node>,
+    sinks: Vec<NodeId>,
+    children: Vec<Vec<usize>>,
+}
+
+impl RcTree {
+    /// Creates a tree containing only the root with the given grounded cap.
+    pub fn new(root_cap: f64) -> Self {
+        Self {
+            nodes: vec![Node {
+                parent: None,
+                res: 0.0,
+                cap: root_cap,
+            }],
+            sinks: Vec::new(),
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// The root node id.
+    pub fn root() -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Adds a node hanging off `parent` through `res` ohms, with `cap`
+    /// farads to ground. Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range or `res`/`cap` are negative.
+    pub fn add_node(&mut self, parent: NodeId, res: f64, cap: f64) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "parent out of range");
+        assert!(res >= 0.0 && cap >= 0.0, "res/cap must be non-negative");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent: Some(parent.0),
+            res,
+            cap,
+        });
+        self.children.push(Vec::new());
+        self.children[parent.0].push(id);
+        NodeId(id)
+    }
+
+    /// Marks a node as a sink (a load-pin attachment point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn mark_sink(&mut self, node: NodeId) {
+        assert!(node.0 < self.nodes.len(), "node out of range");
+        if !self.sinks.contains(&node) {
+            self.sinks.push(node);
+        }
+    }
+
+    /// Adds capacitance at a node (e.g. the input cap of an attached load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range or `extra` is negative.
+    pub fn add_cap(&mut self, node: NodeId, extra: f64) {
+        assert!(node.0 < self.nodes.len(), "node out of range");
+        assert!(extra >= 0.0, "cap must be non-negative");
+        self.nodes[node.0].cap += extra;
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The sink nodes, in insertion order.
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.0].parent.map(NodeId)
+    }
+
+    /// Children of a node.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children[node.0].iter().map(|&i| NodeId(i))
+    }
+
+    /// Segment resistance from the parent into this node (Ω).
+    pub fn res(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].res
+    }
+
+    /// Grounded capacitance at this node (F).
+    pub fn cap(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].cap
+    }
+
+    /// Sum of all node capacitances (F) — what the driver sees at DC.
+    pub fn total_cap(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cap).sum()
+    }
+
+    /// Total segment resistance (Ω).
+    pub fn total_res(&self) -> f64 {
+        self.nodes.iter().map(|n| n.res).sum()
+    }
+
+    /// Resistance along the path from the root to `node` (Ω).
+    pub fn path_res(&self, node: NodeId) -> f64 {
+        let mut r = 0.0;
+        let mut cur = node.0;
+        while let Some(p) = self.nodes[cur].parent {
+            r += self.nodes[cur].res;
+            cur = p;
+        }
+        r
+    }
+
+    /// Nodes in topological order (parents before children). Node storage
+    /// order already satisfies this by construction.
+    pub fn topo_order(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Returns a copy with every segment resistance and node capacitance
+    /// transformed — the hook the Monte-Carlo sampler uses to apply global
+    /// and local R/C variation.
+    pub fn scaled_with(
+        &self,
+        mut res_scale: impl FnMut(NodeId, f64) -> f64,
+        mut cap_scale: impl FnMut(NodeId, f64) -> f64,
+    ) -> RcTree {
+        let mut out = self.clone();
+        for i in 0..out.nodes.len() {
+            let id = NodeId(i);
+            out.nodes[i].res = res_scale(id, self.nodes[i].res);
+            out.nodes[i].cap = cap_scale(id, self.nodes[i].cap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, r: f64, c: f64) -> (RcTree, Vec<NodeId>) {
+        let mut t = RcTree::new(c);
+        let mut ids = vec![RcTree::root()];
+        let mut cur = RcTree::root();
+        for _ in 0..n {
+            cur = t.add_node(cur, r, c);
+            ids.push(cur);
+        }
+        t.mark_sink(cur);
+        (t, ids)
+    }
+
+    #[test]
+    fn chain_accounting() {
+        let (t, ids) = chain(3, 100.0, 2e-15);
+        assert_eq!(t.len(), 4);
+        assert!((t.total_cap() - 8e-15).abs() < 1e-28);
+        assert!((t.total_res() - 300.0).abs() < 1e-9);
+        assert!((t.path_res(ids[3]) - 300.0).abs() < 1e-9);
+        assert!((t.path_res(ids[1]) - 100.0).abs() < 1e-9);
+        assert_eq!(t.parent(ids[1]), Some(RcTree::root()));
+        assert_eq!(t.parent(RcTree::root()), None);
+    }
+
+    #[test]
+    fn sink_marking_is_idempotent() {
+        let (mut t, ids) = chain(2, 1.0, 1e-15);
+        t.mark_sink(ids[2]);
+        t.mark_sink(ids[2]);
+        assert_eq!(t.sinks().len(), 1);
+    }
+
+    #[test]
+    fn add_cap_accumulates() {
+        let (mut t, ids) = chain(1, 1.0, 1e-15);
+        t.add_cap(ids[1], 3e-15);
+        assert!((t.cap(ids[1]) - 4e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn scaled_with_applies_factors() {
+        let (t, _) = chain(2, 10.0, 1e-15);
+        let s = t.scaled_with(|_, r| r * 2.0, |_, c| c * 3.0);
+        assert!((s.total_res() - 2.0 * t.total_res()).abs() < 1e-9);
+        assert!((s.total_cap() - 3.0 * t.total_cap()).abs() < 1e-27);
+        // Original untouched.
+        assert!((t.total_res() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_children() {
+        let mut t = RcTree::new(1e-15);
+        let a = t.add_node(RcTree::root(), 1.0, 1e-15);
+        let b = t.add_node(RcTree::root(), 1.0, 1e-15);
+        let kids: Vec<NodeId> = t.children(RcTree::root()).collect();
+        assert_eq!(kids, vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "res/cap must be non-negative")]
+    fn negative_res_rejected() {
+        let mut t = RcTree::new(0.0);
+        t.add_node(RcTree::root(), -1.0, 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! SPEF-lite: a minimal, line-oriented parasitics exchange format.
+//!
+//! Real designs ship IEEE 1481 SPEF from the router; the paper gets its
+//! parasitics from IC Compiler. This workspace generates its own RC trees,
+//! so a compact format with the same information content (net name, tree
+//! topology, per-segment R, per-node C, sink markers) is used instead:
+//!
+//! ```text
+//! *SPEF-LITE 1
+//! *NET n42
+//! *N 0 -1 0 1.5e-16      // node 0: root, no parent, res 0, cap 0.15 fF
+//! *N 1 0 120.0 2.0e-16   // node 1 hangs off node 0 through 120 Ω
+//! *S 1                   // node 1 is a sink
+//! *END
+//! ```
+
+use crate::rctree::{node_id, RcTree};
+use std::fmt::Write as _;
+
+/// A named parasitic net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpefNet {
+    /// Net name.
+    pub name: String,
+    /// The RC tree.
+    pub tree: RcTree,
+}
+
+/// Error parsing SPEF-lite text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpefError {
+    /// Missing `*SPEF-LITE` header.
+    MissingHeader,
+    /// A record was malformed; carries the 1-based line number.
+    BadRecord(usize),
+    /// Node ids must be dense and in order (parent before child).
+    BadTopology(usize),
+    /// The file ended before `*END`.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for ParseSpefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSpefError::MissingHeader => write!(f, "missing *SPEF-LITE header"),
+            ParseSpefError::BadRecord(l) => write!(f, "malformed record at line {l}"),
+            ParseSpefError::BadTopology(l) => write!(f, "invalid tree topology at line {l}"),
+            ParseSpefError::UnexpectedEof => write!(f, "unexpected end of file before *END"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSpefError {}
+
+/// Serializes nets to SPEF-lite text.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_interconnect::rctree::RcTree;
+/// use nsigma_interconnect::spef::{parse, write, SpefNet};
+///
+/// let mut t = RcTree::new(1e-16);
+/// let s = t.add_node(RcTree::root(), 100.0, 2e-16);
+/// t.mark_sink(s);
+/// let text = write(&[SpefNet { name: "n1".into(), tree: t.clone() }]);
+/// let nets = parse(&text)?;
+/// assert_eq!(nets[0].tree, t);
+/// # Ok::<(), nsigma_interconnect::spef::ParseSpefError>(())
+/// ```
+pub fn write(nets: &[SpefNet]) -> String {
+    let mut out = String::from("*SPEF-LITE 1\n");
+    for net in nets {
+        writeln!(out, "*NET {}", net.name).expect("string write");
+        for id in net.tree.topo_order() {
+            let parent = net
+                .tree
+                .parent(id)
+                .map(|p| p.index() as i64)
+                .unwrap_or(-1);
+            writeln!(
+                out,
+                "*N {} {} {:e} {:e}",
+                id.index(),
+                parent,
+                net.tree.res(id),
+                net.tree.cap(id)
+            )
+            .expect("string write");
+        }
+        for s in net.tree.sinks() {
+            writeln!(out, "*S {}", s.index()).expect("string write");
+        }
+        out.push_str("*END\n");
+    }
+    out
+}
+
+/// Parses SPEF-lite text into nets.
+///
+/// # Errors
+///
+/// Returns a [`ParseSpefError`] describing the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
+    let mut lines = text.lines().enumerate().peekable();
+    match lines.next() {
+        Some((_, l)) if l.trim_start().starts_with("*SPEF-LITE") => {}
+        _ => return Err(ParseSpefError::MissingHeader),
+    }
+
+    let mut nets = Vec::new();
+    while let Some((lineno, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let name = line
+            .strip_prefix("*NET ")
+            .ok_or(ParseSpefError::BadRecord(lineno + 1))?
+            .trim()
+            .to_string();
+
+        let mut tree: Option<RcTree> = None;
+        let mut node_count = 0usize;
+        let mut ended = false;
+        for (lineno, line) in lines.by_ref() {
+            let line = line.trim();
+            if line == "*END" {
+                ended = true;
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("*N ") {
+                let mut it = rest.split_whitespace();
+                let (id, parent, res, cap) = (
+                    next_num::<usize>(&mut it, lineno)?,
+                    next_num::<i64>(&mut it, lineno)?,
+                    next_num::<f64>(&mut it, lineno)?,
+                    next_num::<f64>(&mut it, lineno)?,
+                );
+                if id != node_count {
+                    return Err(ParseSpefError::BadTopology(lineno + 1));
+                }
+                if id == 0 {
+                    if parent != -1 {
+                        return Err(ParseSpefError::BadTopology(lineno + 1));
+                    }
+                    tree = Some(RcTree::new(cap));
+                } else {
+                    let t = tree.as_mut().ok_or(ParseSpefError::BadTopology(lineno + 1))?;
+                    if parent < 0 || parent as usize >= id {
+                        return Err(ParseSpefError::BadTopology(lineno + 1));
+                    }
+                    t.add_node(node_id(parent as usize), res, cap);
+                }
+                node_count += 1;
+            } else if let Some(rest) = line.strip_prefix("*S ") {
+                let idx: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseSpefError::BadRecord(lineno + 1))?;
+                let t = tree.as_mut().ok_or(ParseSpefError::BadTopology(lineno + 1))?;
+                if idx >= t.len() {
+                    return Err(ParseSpefError::BadTopology(lineno + 1));
+                }
+                t.mark_sink(node_id(idx));
+            } else if !line.is_empty() {
+                return Err(ParseSpefError::BadRecord(lineno + 1));
+            }
+        }
+        if !ended {
+            return Err(ParseSpefError::UnexpectedEof);
+        }
+        let tree = tree.ok_or(ParseSpefError::UnexpectedEof)?;
+        nets.push(SpefNet { name, tree });
+    }
+    Ok(nets)
+}
+
+fn next_num<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    lineno: usize,
+) -> Result<T, ParseSpefError> {
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseSpefError::BadRecord(lineno + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> RcTree {
+        let mut t = RcTree::new(1e-16);
+        let a = t.add_node(RcTree::root(), 120.0, 2e-16);
+        let b = t.add_node(a, 80.0, 3e-16);
+        let c = t.add_node(a, 200.0, 1e-16);
+        t.mark_sink(b);
+        t.mark_sink(c);
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let nets = vec![
+            SpefNet {
+                name: "alpha".into(),
+                tree: sample_tree(),
+            },
+            SpefNet {
+                name: "beta".into(),
+                tree: RcTree::new(5e-16),
+            },
+        ];
+        let text = write(&nets);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, nets);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(parse("*NET x\n*END\n"), Err(ParseSpefError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_orphan_topology() {
+        let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*N 1 5 10 1e-16\n*END\n";
+        assert!(matches!(parse(text), Err(ParseSpefError::BadTopology(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n";
+        assert_eq!(parse(text), Err(ParseSpefError::UnexpectedEof));
+    }
+
+    #[test]
+    fn rejects_garbage_record() {
+        let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\nwhat\n*END\n";
+        assert!(matches!(parse(text), Err(ParseSpefError::BadRecord(_))));
+    }
+}

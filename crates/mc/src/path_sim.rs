@@ -1,0 +1,441 @@
+//! Golden path-level Monte Carlo: the SPICE-MC substitute of Table III.
+//!
+//! Each trial draws one global (die) corner shared by the whole path, then a
+//! local mismatch deviate per gate. The *same* threshold sample drives a
+//! gate's cell delay and its driver resistance into the downstream wire —
+//! this shared sample is exactly the cell/wire interaction the paper's
+//! calibration targets. Slew propagates stage to stage.
+
+use crate::design::Design;
+use crate::result::McResult;
+use crate::wire_sim::{sample_wire, WireGoldenMode};
+use nsigma_cells::timing::{evaluate_arc_pair, nominal_arc};
+use nsigma_interconnect::elmore::elmore_all;
+use nsigma_netlist::ir::NetDriver;
+use nsigma_netlist::topo::{longest_path_by, Path};
+use nsigma_process::VariationModel;
+use nsigma_stats::rng::SeedStream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Configuration of a path Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathMcConfig {
+    /// Number of trials (paper: 5 000 for Table III).
+    pub samples: usize,
+    /// Master seed; each trial gets a tagged child seed, so results are
+    /// independent of threading.
+    pub seed: u64,
+    /// Transition time at the path's primary input (s).
+    pub input_slew: f64,
+}
+
+impl PathMcConfig {
+    /// The Table III setting: 5 000 samples, 10 ps primary-input slew.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            samples: 5000,
+            seed,
+            input_slew: 10e-12,
+        }
+    }
+}
+
+/// Finds the nominal critical path: the PI→PO path maximizing the summed
+/// nominal stage delay (cell + Elmore wire estimate).
+///
+/// Returns `None` for an empty netlist.
+pub fn find_critical_path(design: &Design) -> Option<Path> {
+    let weights: Vec<f64> = design
+        .netlist
+        .gate_ids()
+        .map(|g| nominal_stage_weight(design, g))
+        .collect();
+    longest_path_by(&design.netlist, |g| weights[g.index()])
+}
+
+fn nominal_stage_weight(design: &Design, g: nsigma_netlist::ir::GateId) -> f64 {
+    let gate = design.netlist.gate(g);
+    let cell = design.lib.cell(gate.cell);
+    let load = design.stage_load_cap(gate.output);
+    let arc = nominal_arc(&design.tech, cell, 20e-12, load);
+    let wire = design
+        .parasitic(gate.output)
+        .map(|t| {
+            let m1 = elmore_all(t);
+            t.sinks()
+                .first()
+                .map(|s| m1[s.index()])
+                .unwrap_or(0.0)
+        })
+        .unwrap_or(0.0);
+    arc.delay + wire
+}
+
+/// One sampled path delay (s). Exposed for the experiment binaries that need
+/// per-stage breakdowns.
+pub fn sample_path<R: Rng + ?Sized>(
+    design: &Design,
+    variation: &VariationModel,
+    path: &Path,
+    input_slew: f64,
+    global: &nsigma_process::GlobalSample,
+    rng: &mut R,
+) -> f64 {
+    let tech = &design.tech;
+    let mut slew = input_slew;
+    let mut total = 0.0;
+
+    for (k, &g) in path.gates.iter().enumerate() {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        // Independent mismatch per arc network, exactly as characterization
+        // draws it; the pull-down deviate also sets the driver resistance
+        // seen by the output wire (the cell/wire interaction).
+        let (pd, pu) = cell.arc_stacks();
+        let dloc = variation.sample_local_vth(rng, pd.effective_local_sigma(tech));
+        let dloc_rise = variation.sample_local_vth(rng, pu.effective_local_sigma(tech));
+
+        let net = gate.output;
+        let (wire_delay, load_cap) = match design.parasitic(net) {
+            Some(tree) if !tree.sinks().is_empty() => {
+                let loads = design.load_cells(net);
+                let ws = sample_wire(
+                    tech,
+                    variation,
+                    tree,
+                    cell,
+                    &loads,
+                    slew,
+                    global,
+                    dloc,
+                    rng,
+                    WireGoldenMode::TwoPole,
+                );
+                // The sink feeding the next path gate (first sink if this is
+                // the endpoint net).
+                let pos = path
+                    .gates
+                    .get(k + 1)
+                    .and_then(|&next| {
+                        design
+                            .netlist
+                            .net(net)
+                            .loads
+                            .iter()
+                            .position(|&(lg, _)| lg == next)
+                    })
+                    .unwrap_or(0);
+                let scale = design
+                    .wire_golden_scale(net)
+                    .map(|s| s[pos])
+                    .unwrap_or(1.0);
+                // The cell arc is evaluated at the effective capacitance so
+                // cell + wire decompose the true source→sink delay exactly.
+                (ws.delays[pos] * scale, ws.c_eff)
+            }
+            _ => (0.0, cell.output_parasitic(tech)),
+        };
+
+        let arc = evaluate_arc_pair(
+            tech,
+            cell,
+            slew,
+            load_cap,
+            global.dvth + dloc,
+            global.dvth + dloc_rise,
+            global.mobility,
+        );
+        total += arc.delay + wire_delay;
+        // Wire RC also degrades the edge arriving at the next stage (the
+        // decomposition residual can be slightly negative; slew stays ≥ 0).
+        slew = (arc.output_slew + 2.0 * wire_delay).max(0.0);
+    }
+    total
+}
+
+/// Runs the path Monte Carlo in parallel, deterministically in `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples == 0` or the path is empty.
+pub fn simulate_path_mc(design: &Design, path: &Path, cfg: &PathMcConfig) -> McResult {
+    assert!(cfg.samples > 0, "path MC needs samples");
+    assert!(!path.is_empty(), "path MC needs a non-empty path");
+    let variation = VariationModel::new(&design.tech);
+    let seeds = SeedStream::new(cfg.seed);
+    let start = Instant::now();
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.samples);
+    let mut samples = vec![0.0; cfg.samples];
+
+    crossbeam::scope(|scope| {
+        for (t, chunk) in samples.chunks_mut(cfg.samples.div_ceil(n_threads)).enumerate() {
+            let seeds = &seeds;
+            let variation = &variation;
+            let base = t * cfg.samples.div_ceil(n_threads);
+            scope.spawn(move |_| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let trial = base + i;
+                    let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(trial as u64));
+                    let global = variation.sample_global(&mut rng);
+                    *out = sample_path(design, variation, path, cfg.input_slew, &global, &mut rng);
+                }
+            });
+        }
+    })
+    .expect("path MC scope failed");
+
+    McResult::from_samples(samples, start.elapsed())
+}
+
+/// Full-circuit Monte Carlo: per trial, propagates sampled arrival times
+/// through the whole netlist and records the worst primary-output arrival.
+///
+/// This is the most faithful golden (the tail-critical path can differ from
+/// the nominal one) but costs `O(gates × samples)`.
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates or `cfg.samples == 0`.
+pub fn simulate_circuit_mc(design: &Design, cfg: &PathMcConfig) -> McResult {
+    assert!(cfg.samples > 0, "circuit MC needs samples");
+    assert!(design.netlist.num_gates() > 0, "circuit MC needs gates");
+    let variation = VariationModel::new(&design.tech);
+    let seeds = SeedStream::new(cfg.seed);
+    let order = nsigma_netlist::topo::topo_order(&design.netlist);
+    let start = Instant::now();
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.samples);
+    let mut samples = vec![0.0; cfg.samples];
+
+    crossbeam::scope(|scope| {
+        for (t, chunk) in samples.chunks_mut(cfg.samples.div_ceil(n_threads)).enumerate() {
+            let seeds = &seeds;
+            let variation = &variation;
+            let order = &order;
+            let base = t * cfg.samples.div_ceil(n_threads);
+            scope.spawn(move |_| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let trial = base + i;
+                    let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(trial as u64));
+                    let global = variation.sample_global(&mut rng);
+                    *out = sample_circuit(design, variation, order, cfg.input_slew, &global, &mut rng);
+                }
+            });
+        }
+    })
+    .expect("circuit MC scope failed");
+
+    McResult::from_samples(samples, start.elapsed())
+}
+
+/// One trial of whole-circuit arrival propagation; returns the worst PO
+/// arrival time.
+fn sample_circuit<R: Rng + ?Sized>(
+    design: &Design,
+    variation: &VariationModel,
+    order: &[nsigma_netlist::ir::GateId],
+    input_slew: f64,
+    global: &nsigma_process::GlobalSample,
+    rng: &mut R,
+) -> f64 {
+    let tech = &design.tech;
+    let nets = design.netlist.num_nets();
+    // Arrival time and slew at each net.
+    let mut arrival = vec![0.0f64; nets];
+    let mut slew = vec![input_slew; nets];
+
+    for &g in order {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let (pd, pu) = cell.arc_stacks();
+        let dloc = variation.sample_local_vth(rng, pd.effective_local_sigma(tech));
+        let dloc_rise = variation.sample_local_vth(rng, pu.effective_local_sigma(tech));
+
+        // Worst input arrival/slew.
+        let (in_arrival, in_slew) = gate
+            .inputs
+            .iter()
+            .map(|&i| (arrival[i.index()], slew[i.index()]))
+            .fold((0.0f64, input_slew), |(a, s), (ai, si)| {
+                if ai > a {
+                    (ai, si)
+                } else {
+                    (a, s)
+                }
+            });
+
+        let net = gate.output;
+        let (wire_delays, load_cap) = match design.parasitic(net) {
+            Some(tree) if !tree.sinks().is_empty() => {
+                let loads = design.load_cells(net);
+                let ws = sample_wire(
+                    tech,
+                    variation,
+                    tree,
+                    cell,
+                    &loads,
+                    in_slew,
+                    global,
+                    dloc,
+                    rng,
+                    WireGoldenMode::TwoPole,
+                );
+                let scaled: Vec<f64> = match design.wire_golden_scale(net) {
+                    Some(sc) => ws
+                        .delays
+                        .iter()
+                        .zip(sc)
+                        .map(|(d, s)| d * s)
+                        .collect(),
+                    None => ws.delays,
+                };
+                (scaled, ws.c_eff)
+            }
+            _ => (Vec::new(), cell.output_parasitic(tech)),
+        };
+
+        let arc = evaluate_arc_pair(
+            tech,
+            cell,
+            in_slew,
+            load_cap,
+            global.dvth + dloc,
+            global.dvth + dloc_rise,
+            global.mobility,
+        );
+        // Net arrival at the driver pin; per-sink lag folded into the worst
+        // over sinks (each sink is a load; for arrival at the net we keep
+        // the root value and let loads add their sink lag — approximated by
+        // the max sink lag here, conservative and cheap).
+        let sink_lag = wire_delays.iter().copied().fold(0.0f64, f64::max);
+        arrival[net.index()] = in_arrival + arc.delay + sink_lag;
+        slew[net.index()] = (arc.output_slew + 2.0 * sink_lag).max(0.0);
+    }
+
+    design
+        .netlist
+        .outputs()
+        .iter()
+        .map(|&o| match design.netlist.net(o).driver {
+            NetDriver::Gate(_) => arrival[o.index()],
+            NetDriver::PrimaryInput => 0.0,
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::CellLibrary;
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::generators::random_dag::Iscas85;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_process::Technology;
+
+    fn adder_design() -> Design {
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let nl = map_to_cells(&ripple_adder(8), &lib).unwrap();
+        Design::with_generated_parasitics(tech, lib, nl, 3)
+    }
+
+    #[test]
+    fn critical_path_ends_at_an_output() {
+        let d = adder_design();
+        let p = find_critical_path(&d).unwrap();
+        assert!(p.len() >= 8, "carry chain spans the adder: {}", p.len());
+        let last_net = *p.nets.last().unwrap();
+        assert!(d.netlist.outputs().contains(&last_net));
+    }
+
+    #[test]
+    fn path_mc_is_deterministic_and_skewed() {
+        let d = adder_design();
+        let p = find_critical_path(&d).unwrap();
+        let cfg = PathMcConfig {
+            samples: 1500,
+            seed: 9,
+            input_slew: 10e-12,
+        };
+        let a = simulate_path_mc(&d, &p, &cfg);
+        let b = simulate_path_mc(&d, &p, &cfg);
+        assert_eq!(a.samples(), b.samples());
+        // Near-threshold path delay keeps positive skew (less than a single
+        // cell, since summing stages averages local mismatch).
+        assert!(a.moments.skewness > 0.0);
+        assert!(a.moments.mean > 0.0);
+    }
+
+    #[test]
+    fn longer_paths_are_slower() {
+        let d = adder_design();
+        let p = find_critical_path(&d).unwrap();
+        let cfg = PathMcConfig {
+            samples: 400,
+            seed: 1,
+            input_slew: 10e-12,
+        };
+        let full = simulate_path_mc(&d, &p, &cfg);
+        let half = Path {
+            gates: p.gates[..p.len() / 2].to_vec(),
+            nets: p.nets[..p.len() / 2 + 1].to_vec(),
+        };
+        let part = simulate_path_mc(&d, &half, &cfg);
+        assert!(full.moments.mean > part.moments.mean);
+    }
+
+    #[test]
+    fn circuit_mc_upper_bounds_path_mc_mean() {
+        let d = adder_design();
+        let p = find_critical_path(&d).unwrap();
+        let cfg = PathMcConfig {
+            samples: 300,
+            seed: 4,
+            input_slew: 10e-12,
+        };
+        let path = simulate_path_mc(&d, &p, &cfg);
+        let circuit = simulate_circuit_mc(&d, &cfg);
+        // The circuit max-over-POs can only be at or above a single path.
+        assert!(
+            circuit.moments.mean >= path.moments.mean * 0.95,
+            "circuit {} vs path {}",
+            circuit.moments.mean,
+            path.moments.mean
+        );
+    }
+
+    #[test]
+    fn global_variation_correlates_the_path() {
+        // With a shared die corner, path sigma is dominated by the global
+        // component: σ/μ of the path should stay within a factor of the
+        // single-stage σ/μ rather than shrinking by √stages.
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let nl = map_to_cells(&Iscas85::C432.generate(), &lib).unwrap();
+        let d = Design::with_generated_parasitics(tech, lib, nl, 8);
+        let p = find_critical_path(&d).unwrap();
+        let cfg = PathMcConfig {
+            samples: 1200,
+            seed: 2,
+            input_slew: 10e-12,
+        };
+        let r = simulate_path_mc(&d, &p, &cfg);
+        let stages = p.len() as f64;
+        let fully_local_cv = 0.18 / stages.sqrt(); // x1-cell CV / √stages
+        assert!(
+            r.moments.variability() > 2.0 * fully_local_cv,
+            "path CV {} should exceed the uncorrelated bound {}",
+            r.moments.variability(),
+            fully_local_cv
+        );
+    }
+}

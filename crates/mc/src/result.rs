@@ -1,0 +1,74 @@
+//! Monte-Carlo result container: raw samples plus their statistical summary.
+
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::QuantileSet;
+use std::time::Duration;
+
+/// The outcome of a Monte-Carlo delay experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    /// The raw delay samples (s).
+    samples: Vec<f64>,
+    /// First four moments of the samples.
+    pub moments: Moments,
+    /// Empirical sigma-level quantiles.
+    pub quantiles: QuantileSet,
+    /// Wall-clock time the simulation took.
+    pub elapsed: Duration,
+}
+
+impl McResult {
+    /// Builds a result from samples, computing the summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: Vec<f64>, elapsed: Duration) -> Self {
+        let moments = Moments::from_samples(&samples);
+        let quantiles = QuantileSet::from_samples(&samples);
+        Self {
+            samples,
+            moments,
+            quantiles,
+            elapsed,
+        }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of Monte-Carlo trials.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if there are no samples (never the case for a built result).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_stats::quantile::SigmaLevel;
+
+    #[test]
+    fn summary_matches_samples() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = McResult::from_samples(samples.clone(), Duration::from_millis(5));
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.samples(), &samples[..]);
+        assert!((r.moments.mean - 3.0).abs() < 1e-12);
+        assert_eq!(r.quantiles[SigmaLevel::Zero], 3.0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        McResult::from_samples(vec![], Duration::ZERO);
+    }
+}

@@ -1,0 +1,430 @@
+//! Golden Monte-Carlo wire simulation.
+//!
+//! Per trial, the driver cell's sampled on-current sets a driver resistance,
+//! every wire segment gets global + local R/C variation, and sampled load
+//! pin capacitances land on the sinks.
+//!
+//! **Wire-delay definition.** The golden uses the delay-calculator
+//! decomposition of SDF/LVF flows: the wire delay of a sink is the total
+//! source→sink delay minus the driver cell's *model* delay at the lumped
+//! total load. That residual carries the root→sink lag *and* the mismatch
+//! between the lumped-C cell model and the true distributed charging
+//! (resistive shielding, driver waveform shape) — which is precisely the
+//! cell/wire interaction of the paper's title, and why its σ_w/μ_w depends
+//! on the driver and load cells (eq. 5–7). The total source→sink delay is
+//! measured by backward-Euler transient (reference) or by the driver-folded
+//! two-pole model (fast circuit-scale mode).
+
+use crate::result::McResult;
+use nsigma_cells::Cell;
+use nsigma_interconnect::elmore::moments_all;
+use nsigma_interconnect::metrics::two_pole_delay;
+use nsigma_interconnect::rctree::{NodeId, RcTree};
+use nsigma_interconnect::transient::{simulate_ramp, TransientConfig};
+use nsigma_process::{GlobalSample, Technology, VariationModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// How the golden evaluates each sampled wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireGoldenMode {
+    /// Backward-Euler transient — the reference, O(nodes × steps) per trial.
+    Transient,
+    /// Two-pole moment model with the driver folded in — ~10³× faster,
+    /// within a few percent of the transient on tree nets.
+    TwoPole,
+}
+
+/// Configuration of a wire Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMcConfig {
+    /// Number of trials (paper: 10 000).
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Input transition time at the driver (s).
+    pub input_slew: f64,
+    /// Evaluation mode.
+    pub mode: WireGoldenMode,
+}
+
+impl WireMcConfig {
+    /// 10 k transient-mode samples — the paper's wire-experiment setting.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            samples: 10_000,
+            seed,
+            input_slew: 10e-12,
+            mode: WireGoldenMode::Transient,
+        }
+    }
+}
+
+/// Folds a driver resistance into a tree: returns the extended tree, the
+/// image of the original root, and the images of the original sinks.
+pub fn fold_driver(tree: &RcTree, driver_res: f64) -> (RcTree, NodeId, Vec<NodeId>) {
+    let mut out = RcTree::new(1e-21);
+    let mut map = Vec::with_capacity(tree.len());
+    // Old root hangs off the new source through the driver resistance.
+    let root_img = out.add_node(RcTree::root(), driver_res, tree.cap(RcTree::root()));
+    map.push(root_img);
+    for id in tree.topo_order().skip(1) {
+        let parent_img = map[tree.parent(id).expect("non-root").index()];
+        let img = out.add_node(parent_img, tree.res(id), tree.cap(id));
+        map.push(img);
+    }
+    let sinks = tree.sinks().iter().map(|s| map[s.index()]).collect();
+    (out, root_img, sinks)
+}
+
+/// One sampled wire evaluation: per-sink delays plus the sampled total
+/// capacitance (wire + load pins) the driver sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSample {
+    /// Per-sink wire delay (s) under the delay-calculator decomposition,
+    /// in `tree.sinks()` order.
+    pub delays: Vec<f64>,
+    /// Total sampled capacitance of the net (F).
+    pub total_cap: f64,
+    /// The effective capacitance (F) the cell model was evaluated at —
+    /// the load the consistent path decomposition must hand the cell arc.
+    pub c_eff: f64,
+}
+
+/// One sampled evaluation of a wire.
+///
+/// The driver's threshold sample should be the *same* one used for its cell
+/// delay in path simulation — that shared sample is the cell/wire
+/// interaction the paper models.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_wire<R: Rng + ?Sized>(
+    tech: &Technology,
+    variation: &VariationModel,
+    tree: &RcTree,
+    driver: &Cell,
+    loads: &[&Cell],
+    input_slew: f64,
+    global: &GlobalSample,
+    driver_dvth_local: f64,
+    rng: &mut R,
+    mode: WireGoldenMode,
+) -> WireSample {
+    assert_eq!(
+        loads.len(),
+        tree.sinks().len(),
+        "one load cell per tree sink"
+    );
+
+    // Driver resistance from the sampled on-current.
+    let stack = driver.worst_stack();
+    let i_on = stack.drive_current(tech, global.dvth + driver_dvth_local, global.mobility);
+    let rd = tech.vdd / (2.0 * i_on);
+
+    // Sampled parasitics: global corner × per-segment local jitter.
+    // (Factors are pre-drawn so both closures stay borrow-free.)
+    let res_factors: Vec<f64> = (0..tree.len())
+        .map(|_| global.wire_res_scale * variation.sample_wire_local(rng))
+        .collect();
+    let cap_factors: Vec<f64> = (0..tree.len())
+        .map(|_| global.wire_cap_scale * variation.sample_wire_local(rng))
+        .collect();
+    let mut sampled = tree.scaled_with(
+        |id, r| r * res_factors[id.index()],
+        |id, c| c * cap_factors[id.index()],
+    );
+    // Sampled load pin caps at the sinks.
+    for (k, &sink) in tree.sinks().iter().enumerate() {
+        let pin = loads[k].input_cap(tech) * variation.sample_wire_local(rng);
+        sampled.add_cap(sink, pin);
+    }
+
+    let total_cap = sampled.total_cap();
+    // The subtracted baseline is the SAME driver resistance charging the
+    // *effective* (shield-reduced, at nominal R_drv) lumped capacitance —
+    // the delay-calculator picture of the cell driving its library load.
+    // The sampled R_drv deviations appear in BOTH terms; their imperfect
+    // cancellation across the real tree vs the lumped load is the
+    // cell/wire interaction variability of the paper's eq. (7).
+    let c_eff = effective_cap(tech, driver, &sampled, total_cap);
+    let tau = rd * c_eff;
+    let delays = match mode {
+        WireGoldenMode::Transient => {
+            // Ramp-driven: sink 50 % crossing minus the lumped-load 50 %
+            // crossing under the same ramp.
+            let lumped = lumped_t50_ramp(tau, input_slew);
+            let cfg = TransientConfig::auto(&sampled, tech.vdd, input_slew, rd);
+            let res = simulate_ramp(&sampled, &cfg);
+            res.sink_cross.iter().map(|&c| c - lumped).collect()
+        }
+        WireGoldenMode::TwoPole => {
+            // Step-response source→sink minus the lumped step 50 % (ln2·τ).
+            let lumped = core::f64::consts::LN_2 * tau;
+            let (folded, _root_img, sink_imgs) = fold_driver(&sampled, rd);
+            let (m1, m2) = moments_all(&folded);
+            sink_imgs
+                .iter()
+                .map(|s| {
+                    two_pole_delay(m1[s.index()].max(1e-18), m2[s.index()].max(1e-33)) - lumped
+                })
+                .collect()
+        }
+    };
+    WireSample {
+        delays,
+        total_cap,
+        c_eff,
+    }
+}
+
+/// 50 % crossing time (absolute, from ramp start) of a single RC with time
+/// constant `tau` driven by a saturated 0→V ramp of duration `slew`.
+///
+/// Closed-form response: `v(t) = (t − τ(1−e^{−t/τ}))/S` during the ramp and
+/// `v(t) = 1 − (τ/S)(1−e^{−S/τ})e^{−(t−S)/τ}` after it; the crossing is
+/// found by bisection (60 iterations, exact to f64 noise).
+pub fn lumped_t50_ramp(tau: f64, slew: f64) -> f64 {
+    let tau = tau.max(1e-18);
+    let slew = slew.max(1e-18);
+    let v = |t: f64| {
+        if t <= slew {
+            (t - tau * (1.0 - (-t / tau).exp())) / slew
+        } else {
+            1.0 - (tau / slew) * (1.0 - (-slew / tau).exp()) * (-(t - slew) / tau).exp()
+        }
+    };
+    let mut lo = 0.0;
+    let mut hi = slew + 20.0 * tau;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if v(mid) < 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The effective capacitance the delay calculator hands the cell model:
+/// the lumped total reduced by resistive shielding, with the shielding
+/// factor evaluated at the driver's *nominal* resistance.
+///
+/// `C_eff = C_total · (1 − ½ · R_w/(R_w + 3·R_drv))` — the one-parameter
+/// form of the classic 2-π effective-capacitance reduction: no shielding
+/// for strong wires behind weak drivers, up to 50 % for resistive wires
+/// behind strong drivers.
+pub fn effective_cap(tech: &Technology, driver: &Cell, tree: &RcTree, total_cap: f64) -> f64 {
+    let rd_nom = driver.drive_resistance(tech);
+    let rw = tree.total_res();
+    let shield = rw / (rw + 3.0 * rd_nom);
+    total_cap * (1.0 - 0.5 * shield)
+}
+
+/// Runs the full wire Monte Carlo, returning one [`McResult`] per sink.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples == 0` or loads don't match sinks.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::cell::{Cell, CellKind};
+/// use nsigma_interconnect::rctree::RcTree;
+/// use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
+/// use nsigma_process::Technology;
+///
+/// let tech = Technology::synthetic_28nm();
+/// let mut tree = RcTree::new(0.05e-15);
+/// let sink = tree.add_node(RcTree::root(), 300.0, 1.5e-15);
+/// tree.mark_sink(sink);
+/// let drv = Cell::new(CellKind::Inv, 4);
+/// let load = Cell::new(CellKind::Inv, 4);
+/// let cfg = WireMcConfig { samples: 200, seed: 1, input_slew: 10e-12,
+///                          mode: WireGoldenMode::TwoPole };
+/// let results = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg);
+/// assert!(results[0].moments.mean > 0.0);
+/// ```
+pub fn simulate_wire_mc(
+    tech: &Technology,
+    tree: &RcTree,
+    driver: &Cell,
+    loads: &[&Cell],
+    cfg: &WireMcConfig,
+) -> Vec<McResult> {
+    assert!(cfg.samples > 0, "wire MC needs samples");
+    let variation = VariationModel::new(tech);
+    let seeds = nsigma_stats::rng::SeedStream::new(cfg.seed);
+    let start = Instant::now();
+    let n_sinks = tree.sinks().len();
+    let driver_sigma = driver.worst_stack().effective_local_sigma(tech);
+
+    // Per-trial tagged seeds keep the result independent of threading.
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.samples);
+    let mut flat = vec![0.0f64; cfg.samples * n_sinks];
+
+    crossbeam::scope(|scope| {
+        let chunk_len = cfg.samples.div_ceil(n_threads) * n_sinks;
+        for (t, chunk) in flat.chunks_mut(chunk_len).enumerate() {
+            let seeds = &seeds;
+            let variation = &variation;
+            let base = t * cfg.samples.div_ceil(n_threads);
+            scope.spawn(move |_| {
+                for (i, out) in chunk.chunks_mut(n_sinks).enumerate() {
+                    let trial = base + i;
+                    let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(trial as u64));
+                    let global = variation.sample_global(&mut rng);
+                    let dloc = variation.sample_local_vth(&mut rng, driver_sigma);
+                    let sample = sample_wire(
+                        tech,
+                        variation,
+                        tree,
+                        driver,
+                        loads,
+                        cfg.input_slew,
+                        &global,
+                        dloc,
+                        &mut rng,
+                        cfg.mode,
+                    );
+                    out.copy_from_slice(&sample.delays);
+                }
+            });
+        }
+    })
+    .expect("wire MC scope failed");
+
+    let elapsed = start.elapsed();
+    (0..n_sinks)
+        .map(|k| {
+            let samples: Vec<f64> = (0..cfg.samples).map(|i| flat[i * n_sinks + k]).collect();
+            McResult::from_samples(samples, elapsed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::cell::CellKind;
+    use nsigma_interconnect::elmore::elmore_delay;
+
+    fn test_tree() -> RcTree {
+        let mut t = RcTree::new(0.05e-15);
+        let a = t.add_node(RcTree::root(), 250.0, 0.8e-15);
+        let s = t.add_node(a, 350.0, 1.2e-15);
+        t.mark_sink(s);
+        t
+    }
+
+    fn cfg(mode: WireGoldenMode, samples: usize) -> WireMcConfig {
+        WireMcConfig {
+            samples,
+            seed: 42,
+            input_slew: 10e-12,
+            mode,
+        }
+    }
+
+    #[test]
+    fn golden_mean_exceeds_plain_elmore() {
+        // The paper's Fig. 7 observation: SPICE (with driver interaction and
+        // variation) sits well above the nominal Elmore number.
+        let tech = Technology::synthetic_28nm();
+        let tree = test_tree();
+        let drv = Cell::new(CellKind::Inv, 1);
+        let load = Cell::new(CellKind::Inv, 4);
+        let res = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 2000));
+        let elmore = elmore_delay(&tree, tree.sinks()[0]);
+        assert!(
+            res[0].moments.mean > elmore,
+            "golden mean {} vs Elmore {}",
+            res[0].moments.mean,
+            elmore
+        );
+    }
+
+    #[test]
+    fn two_pole_tracks_transient_under_the_decomposition() {
+        // With the delay-calculator decomposition (source→sink minus the
+        // lumped baseline, same physics in both modes), the fast two-pole
+        // golden agrees with the transient reference directly.
+        let tech = Technology::synthetic_28nm();
+        let tree = test_tree();
+        let drv = Cell::new(CellKind::Inv, 4);
+        let load = Cell::new(CellKind::Inv, 4);
+        let fast = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 400));
+        let slow =
+            simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::Transient, 400));
+        let rel = (fast[0].moments.mean - slow[0].moments.mean).abs() / slow[0].moments.mean;
+        assert!(rel < 0.12, "two-pole vs transient mean differ by {rel}");
+        let cv_fast = fast[0].moments.variability();
+        let cv_slow = slow[0].moments.variability();
+        assert!(
+            (cv_fast - cv_slow).abs() / cv_slow < 0.30,
+            "cv {cv_fast} vs {cv_slow}"
+        );
+    }
+
+    #[test]
+    fn weaker_driver_increases_wire_variability() {
+        // Paper Fig. 8: σw/μw is inversely related to driver strength.
+        let tech = Technology::synthetic_28nm();
+        let tree = test_tree();
+        let load = Cell::new(CellKind::Inv, 2);
+        let weak = Cell::new(CellKind::Inv, 1);
+        let strong = Cell::new(CellKind::Inv, 4);
+        let rw = simulate_wire_mc(&tech, &tree, &weak, &[&load], &cfg(WireGoldenMode::TwoPole, 4000));
+        let rs =
+            simulate_wire_mc(&tech, &tree, &strong, &[&load], &cfg(WireGoldenMode::TwoPole, 4000));
+        assert!(
+            rw[0].moments.variability() > rs[0].moments.variability(),
+            "weak {} vs strong {}",
+            rw[0].moments.variability(),
+            rs[0].moments.variability()
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let tech = Technology::synthetic_28nm();
+        let tree = test_tree();
+        let drv = Cell::new(CellKind::Inv, 2);
+        let load = Cell::new(CellKind::Inv, 1);
+        let a = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 300));
+        let b = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 300));
+        assert_eq!(a[0].samples(), b[0].samples());
+    }
+
+    #[test]
+    fn multi_sink_returns_one_result_per_sink() {
+        let tech = Technology::synthetic_28nm();
+        let mut tree = RcTree::new(0.05e-15);
+        let a = tree.add_node(RcTree::root(), 200.0, 0.5e-15);
+        let s1 = tree.add_node(a, 100.0, 0.4e-15);
+        let s2 = tree.add_node(a, 800.0, 1.5e-15);
+        tree.mark_sink(s1);
+        tree.mark_sink(s2);
+        let drv = Cell::new(CellKind::Inv, 2);
+        let l1 = Cell::new(CellKind::Nand2, 1);
+        let l2 = Cell::new(CellKind::Nor2, 2);
+        let res =
+            simulate_wire_mc(&tech, &tree, &drv, &[&l1, &l2], &cfg(WireGoldenMode::TwoPole, 500));
+        assert_eq!(res.len(), 2);
+        assert!(res[1].moments.mean > res[0].moments.mean, "far sink slower");
+    }
+
+    #[test]
+    fn fold_driver_preserves_structure() {
+        let tree = test_tree();
+        let (folded, root_img, sinks) = fold_driver(&tree, 1234.0);
+        assert_eq!(folded.len(), tree.len() + 1);
+        assert_eq!(folded.res(root_img), 1234.0);
+        assert_eq!(sinks.len(), 1);
+        assert!((folded.total_cap() - tree.total_cap() - 1e-21).abs() < 1e-22);
+    }
+}

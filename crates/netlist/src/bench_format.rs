@@ -1,0 +1,194 @@
+//! ISCAS85 `.bench` format parser and writer.
+//!
+//! The paper verifies its path analysis on the ISCAS85 suite. The `.bench`
+//! format is the standard interchange for those circuits:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G17 = NOT(G10)
+//! ```
+
+use crate::logic::{LogicCircuit, LogicGate, LogicOp};
+
+/// Error parsing `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed; carries the 1-based line number.
+    BadLine(usize),
+    /// An unsupported gate keyword (e.g. `DFF` — ISCAS85 is combinational).
+    UnsupportedGate(usize, String),
+    /// A gate reads a signal that is never defined.
+    UndefinedSignal(String),
+}
+
+impl std::fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseBenchError::BadLine(l) => write!(f, "malformed .bench line {l}"),
+            ParseBenchError::UnsupportedGate(l, kw) => {
+                write!(f, "unsupported gate '{kw}' at line {l}")
+            }
+            ParseBenchError::UndefinedSignal(s) => write!(f, "undefined signal '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+/// Parses `.bench` text into a [`LogicCircuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, sequential elements
+/// (`DFF`), or references to undefined signals.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_netlist::bench_format::parse;
+///
+/// let c = parse("demo", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")?;
+/// assert_eq!(c.inputs.len(), 2);
+/// assert_eq!(c.gates.len(), 1);
+/// # Ok::<(), nsigma_netlist::bench_format::ParseBenchError>(())
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<LogicCircuit, ParseBenchError> {
+    let mut circuit = LogicCircuit::new(name);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("INPUT(") {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::BadLine(lineno))?;
+            circuit.inputs.push(sig.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::BadLine(lineno))?;
+            circuit.outputs.push(sig.trim().to_string());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let output = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs.find('(').ok_or(ParseBenchError::BadLine(lineno))?;
+            let kw = rhs[..open].trim();
+            let args = rhs[open + 1..]
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::BadLine(lineno))?;
+            let op = LogicOp::from_keyword(kw)
+                .ok_or_else(|| ParseBenchError::UnsupportedGate(lineno, kw.to_string()))?;
+            let inputs: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if inputs.is_empty() {
+                return Err(ParseBenchError::BadLine(lineno));
+            }
+            circuit.gates.push(LogicGate { output, op, inputs });
+        } else {
+            return Err(ParseBenchError::BadLine(lineno));
+        }
+    }
+
+    // Validate that every referenced signal is defined.
+    let mut defined: std::collections::HashSet<&str> =
+        circuit.inputs.iter().map(|s| s.as_str()).collect();
+    defined.extend(circuit.gates.iter().map(|g| g.output.as_str()));
+    for g in &circuit.gates {
+        for i in &g.inputs {
+            if !defined.contains(i.as_str()) {
+                return Err(ParseBenchError::UndefinedSignal(i.clone()));
+            }
+        }
+    }
+    for o in &circuit.outputs {
+        if !defined.contains(o.as_str()) {
+            return Err(ParseBenchError::UndefinedSignal(o.clone()));
+        }
+    }
+    Ok(circuit)
+}
+
+/// Serializes a [`LogicCircuit`] back to `.bench` text.
+pub fn write(circuit: &LogicCircuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("# {}\n", circuit.name);
+    for i in &circuit.inputs {
+        writeln!(out, "INPUT({i})").expect("string write");
+    }
+    for o in &circuit.outputs {
+        writeln!(out, "OUTPUT({o})").expect("string write");
+    }
+    for g in &circuit.gates {
+        writeln!(out, "{} = {}({})", g.output, g.op.keyword(), g.inputs.join(", "))
+            .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# tiny sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G10 = NAND(G1, G2)
+G11 = OR(G10, G3)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn parse_sample() {
+        let c = parse("tiny", SAMPLE).unwrap();
+        assert_eq!(c.inputs, vec!["G1", "G2", "G3"]);
+        assert_eq!(c.outputs, vec!["G17"]);
+        assert_eq!(c.gates.len(), 3);
+        assert_eq!(c.gates[1].op, LogicOp::Or);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = parse("tiny", SAMPLE).unwrap();
+        let text = write(&c);
+        let c2 = parse("tiny", &text).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn rejects_dff() {
+        let err = parse("seq", "INPUT(a)\nq = DFF(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnsupportedGate(2, kw) if kw == "DFF"));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse("bad", "INPUT(a)\ny = NOT(zz)\nOUTPUT(y)\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::UndefinedSignal("zz".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("bad", "whatever\n"),
+            Err(ParseBenchError::BadLine(1))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let c = parse("c", "\n# hi\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a) # trailing\n").unwrap();
+        assert_eq!(c.gates.len(), 1);
+        assert_eq!(c.gates[0].op, LogicOp::Buf);
+    }
+}

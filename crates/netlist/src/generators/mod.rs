@@ -1,0 +1,6 @@
+//! Circuit generators: arithmetic datapaths (the PULPino functional-unit
+//! substitutes) and ISCAS85-like synthetic benchmarks.
+
+pub mod arith;
+pub mod arith_fast;
+pub mod random_dag;

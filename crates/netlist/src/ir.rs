@@ -1,0 +1,323 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a DAG of library gates connected by nets. Primary inputs
+//! drive nets directly; every gate drives exactly one net. This is the form
+//! the paper's path analysis consumes (a set of primary inputs/outputs, a
+//! set G of standard cells and a set N of nets — §IV-B).
+
+use nsigma_cells::CellId;
+use std::collections::HashMap;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A gate instance: a library cell with input nets and one output net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Instance name.
+    pub name: String,
+    /// The library cell implementing this gate.
+    pub cell: CellId,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// The net this gate drives.
+    pub output: NetId,
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// A primary input port.
+    PrimaryInput,
+    /// The output of a gate.
+    Gate(GateId),
+}
+
+/// A net: its name, driver, and load pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The driver (a PI or a gate output).
+    pub driver: NetDriver,
+    /// Gates whose inputs this net feeds (gate, input-pin index).
+    pub loads: Vec<(GateId, usize)>,
+}
+
+/// A combinational gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::CellLibrary;
+/// use nsigma_netlist::ir::Netlist;
+///
+/// let lib = CellLibrary::standard();
+/// let inv = lib.find("INVx1").expect("INVx1");
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_input("a");
+/// let (g, y) = n.add_gate("u1", inv, &[a]);
+/// n.mark_output(y);
+/// assert_eq!(n.gates().len(), 1);
+/// assert_eq!(n.gate(g).inputs, vec![a]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    net_by_name: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            net_by_name: HashMap::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and its net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate net names.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.intern_net(name.into(), NetDriver::PrimaryInput);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate driving a fresh net named after the instance.
+    ///
+    /// Returns the gate id and its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input net id is out of range, the pin count does not
+    /// match the cell, or the derived net name collides.
+    pub fn add_gate(&mut self, name: impl Into<String>, cell: CellId, inputs: &[NetId]) -> (GateId, NetId) {
+        let name = name.into();
+        for &i in inputs {
+            assert!(i.0 < self.nets.len(), "input net out of range");
+        }
+        let gate_id = GateId(self.gates.len());
+        let out = self.intern_net(format!("{name}__o"), NetDriver::Gate(gate_id));
+        for (pin, &i) in inputs.iter().enumerate() {
+            self.nets[i.0].loads.push((gate_id, pin));
+        }
+        self.gates.push(Gate {
+            name,
+            cell,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        (gate_id, out)
+    }
+
+    /// Marks a net as a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    pub fn mark_output(&mut self, net: NetId) {
+        assert!(net.0 < self.nets.len(), "net out of range");
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    fn intern_net(&mut self, name: String, driver: NetDriver) -> NetId {
+        assert!(
+            !self.net_by_name.contains_key(&name),
+            "duplicate net name {name}"
+        );
+        let id = NetId(self.nets.len());
+        self.net_by_name.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            driver,
+            loads: Vec::new(),
+        });
+        id
+    }
+
+    /// Renames a net (used by parsers to preserve source names).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new name collides with an existing net.
+    pub fn rename_net(&mut self, net: NetId, name: impl Into<String>) {
+        let name = name.into();
+        if self.nets[net.0].name == name {
+            return;
+        }
+        assert!(
+            !self.net_by_name.contains_key(&name),
+            "duplicate net name {name}"
+        );
+        let old = std::mem::replace(&mut self.nets[net.0].name, name.clone());
+        self.net_by_name.remove(&old);
+        self.net_by_name.insert(name, net);
+    }
+
+    /// Primary input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// A gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0]
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_by_name.get(name).copied()
+    }
+
+    /// Iterates over gate ids.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> {
+        (0..self.gates.len()).map(GateId)
+    }
+
+    /// Iterates over net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId)
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Fanout (number of load pins) of a net.
+    pub fn fanout(&self, net: NetId) -> usize {
+        self.nets[net.0].loads.len()
+    }
+
+    /// Replaces the library cell of a gate (used by the sizing pass).
+    ///
+    /// The replacement must have the same pin count as the original; this is
+    /// the caller's responsibility (e.g. swapping NAND2x1 for NAND2x4).
+    pub fn set_gate_cell(&mut self, gate: GateId, cell: CellId) {
+        self.gates[gate.0].cell = cell;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::CellLibrary;
+
+    fn tiny() -> (Netlist, CellLibrary) {
+        let lib = CellLibrary::standard();
+        let nand = lib.find("NAND2x1").unwrap();
+        let inv = lib.find("INVx1").unwrap();
+        let mut n = Netlist::new("tiny");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let (_, y1) = n.add_gate("u1", nand, &[a, b]);
+        let (_, y2) = n.add_gate("u2", inv, &[y1]);
+        n.mark_output(y2);
+        (n, lib)
+    }
+
+    #[test]
+    fn connectivity_is_consistent() {
+        let (n, _) = tiny();
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.num_nets(), 4);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        // Net a feeds u1 pin 0.
+        let a = n.find_net("a").unwrap();
+        assert_eq!(n.net(a).loads, vec![(GateId(0), 0)]);
+        // u1's output feeds u2 pin 0 and is driven by u1.
+        let y1 = n.gate(GateId(0)).output;
+        assert_eq!(n.net(y1).driver, NetDriver::Gate(GateId(0)));
+        assert_eq!(n.net(y1).loads, vec![(GateId(1), 0)]);
+        assert_eq!(n.fanout(a), 1);
+    }
+
+    #[test]
+    fn rename_preserves_lookup() {
+        let (mut n, _) = tiny();
+        let y = n.gate(GateId(0)).output;
+        n.rename_net(y, "mid");
+        assert_eq!(n.find_net("mid"), Some(y));
+        assert_eq!(n.find_net("u1__o"), None);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut n, _) = tiny();
+        let y = n.outputs()[0];
+        n.mark_output(y);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate net name")]
+    fn duplicate_input_names_rejected() {
+        let mut n = Netlist::new("dup");
+        n.add_input("a");
+        n.add_input("a");
+    }
+}

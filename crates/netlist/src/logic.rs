@@ -1,0 +1,144 @@
+//! Technology-independent logic netlist: the form produced by the ISCAS85
+//! `.bench` parser and by the arithmetic generators, before mapping onto the
+//! standard-cell library.
+
+/// A technology-independent logic operation (arbitrary arity where it makes
+/// sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// n-input AND.
+    And,
+    /// n-input NAND.
+    Nand,
+    /// n-input OR.
+    Or,
+    /// n-input NOR.
+    Nor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+    /// n-input XOR (parity).
+    Xor,
+    /// n-input XNOR.
+    Xnor,
+}
+
+impl LogicOp {
+    /// Parses a `.bench` gate keyword (case-insensitive).
+    pub fn from_keyword(kw: &str) -> Option<LogicOp> {
+        Some(match kw.to_ascii_uppercase().as_str() {
+            "AND" => LogicOp::And,
+            "NAND" => LogicOp::Nand,
+            "OR" => LogicOp::Or,
+            "NOR" => LogicOp::Nor,
+            "NOT" | "INV" => LogicOp::Not,
+            "BUF" | "BUFF" => LogicOp::Buf,
+            "XOR" => LogicOp::Xor,
+            "XNOR" => LogicOp::Xnor,
+            _ => return None,
+        })
+    }
+
+    /// The `.bench` keyword for this op.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LogicOp::And => "AND",
+            LogicOp::Nand => "NAND",
+            LogicOp::Or => "OR",
+            LogicOp::Nor => "NOR",
+            LogicOp::Not => "NOT",
+            LogicOp::Buf => "BUFF",
+            LogicOp::Xor => "XOR",
+            LogicOp::Xnor => "XNOR",
+        }
+    }
+}
+
+/// One logic gate: `output = op(inputs...)`, all signals by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicGate {
+    /// Signal this gate drives.
+    pub output: String,
+    /// The operation.
+    pub op: LogicOp,
+    /// Input signal names.
+    pub inputs: Vec<String>,
+}
+
+/// A technology-independent combinational circuit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogicCircuit {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input signal names.
+    pub inputs: Vec<String>,
+    /// Primary output signal names.
+    pub outputs: Vec<String>,
+    /// Gates, in file order (not necessarily topological).
+    pub gates: Vec<LogicGate>,
+}
+
+impl LogicCircuit {
+    /// Creates an empty circuit with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a gate; returns the output name for chaining convenience.
+    pub fn add(&mut self, output: impl Into<String>, op: LogicOp, inputs: &[&str]) -> String {
+        let output = output.into();
+        self.gates.push(LogicGate {
+            output: output.clone(),
+            op,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        });
+        output
+    }
+
+    /// Total gate count (before technology mapping).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for op in [
+            LogicOp::And,
+            LogicOp::Nand,
+            LogicOp::Or,
+            LogicOp::Nor,
+            LogicOp::Not,
+            LogicOp::Buf,
+            LogicOp::Xor,
+            LogicOp::Xnor,
+        ] {
+            assert_eq!(LogicOp::from_keyword(op.keyword()), Some(op));
+        }
+        assert_eq!(LogicOp::from_keyword("DFF"), None);
+        assert_eq!(LogicOp::from_keyword("nand"), Some(LogicOp::Nand));
+    }
+
+    #[test]
+    fn add_builds_gates() {
+        let mut c = LogicCircuit::new("t");
+        c.inputs = vec!["a".into(), "b".into()];
+        let y = c.add("y", LogicOp::Nand, &["a", "b"]);
+        c.outputs = vec![y];
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates[0].inputs, vec!["a", "b"]);
+    }
+}

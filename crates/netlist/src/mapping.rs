@@ -1,0 +1,385 @@
+//! Technology mapping: [`LogicCircuit`] → [`Netlist`] over the standard-cell
+//! library, plus fanout-based drive-strength sizing.
+//!
+//! This is the Design Compiler substitute of the reproduction: n-ary logic
+//! ops are decomposed into balanced trees of the library's 2-input cells
+//! (AND → NAND2+INV, OR → NOR2+INV, XNOR → XOR2+INV), and each gate is then
+//! sized x1/x2/x4/x8 from its fanout.
+
+use crate::ir::{GateId, NetId, Netlist};
+use crate::logic::{LogicCircuit, LogicOp};
+use nsigma_cells::{CellKind, CellLibrary};
+use std::collections::HashMap;
+
+/// Error produced by technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The library is missing a required cell (kind, strength).
+    MissingCell(&'static str),
+    /// The logic circuit references an undefined signal.
+    UndefinedSignal(String),
+    /// The logic circuit has a combinational cycle.
+    Cyclic,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::MissingCell(name) => write!(f, "library is missing {name}"),
+            MapError::UndefinedSignal(s) => write!(f, "undefined signal '{s}'"),
+            MapError::Cyclic => write!(f, "logic circuit has a combinational cycle"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps a logic circuit onto the library and sizes gates by fanout.
+///
+/// # Errors
+///
+/// Returns a [`MapError`] if required cells are missing, a signal is
+/// undefined, or the circuit is cyclic.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::CellLibrary;
+/// use nsigma_netlist::bench_format::parse;
+/// use nsigma_netlist::mapping::map_to_cells;
+///
+/// let lib = CellLibrary::standard();
+/// let logic = parse("t", "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n")
+///     .expect("valid bench");
+/// let netlist = map_to_cells(&logic, &lib)?;
+/// // 3-input AND = 2x AND2 = 2x (NAND2+INV) = 4 gates.
+/// assert_eq!(netlist.num_gates(), 4);
+/// # Ok::<(), nsigma_netlist::mapping::MapError>(())
+/// ```
+pub fn map_to_cells(logic: &LogicCircuit, lib: &CellLibrary) -> Result<Netlist, MapError> {
+    let mut mapper = Mapper::new(logic, lib)?;
+    mapper.run()?;
+    let mut netlist = mapper.finish();
+    size_gates(&mut netlist, lib)?;
+    Ok(netlist)
+}
+
+struct Mapper<'a> {
+    logic: &'a LogicCircuit,
+    lib: &'a CellLibrary,
+    netlist: Netlist,
+    signal_net: HashMap<String, NetId>,
+    counter: usize,
+}
+
+impl<'a> Mapper<'a> {
+    fn new(logic: &'a LogicCircuit, lib: &'a CellLibrary) -> Result<Self, MapError> {
+        let mut netlist = Netlist::new(logic.name.clone());
+        let mut signal_net = HashMap::new();
+        for i in &logic.inputs {
+            let id = netlist.add_input(i.clone());
+            signal_net.insert(i.clone(), id);
+        }
+        Ok(Self {
+            logic,
+            lib,
+            netlist,
+            signal_net,
+            counter: 0,
+        })
+    }
+
+    fn run(&mut self) -> Result<(), MapError> {
+        // Topologically order the logic gates by signal dependencies.
+        let order = logic_topo_order(self.logic)?;
+        for gi in order {
+            let gate = &self.logic.gates[gi];
+            let inputs: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|s| {
+                    self.signal_net
+                        .get(s)
+                        .copied()
+                        .ok_or_else(|| MapError::UndefinedSignal(s.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let out = self.map_op(gate.op, &inputs)?;
+            self.signal_net.insert(gate.output.clone(), out);
+        }
+        for o in &self.logic.outputs {
+            let net = self
+                .signal_net
+                .get(o)
+                .copied()
+                .ok_or_else(|| MapError::UndefinedSignal(o.clone()))?;
+            self.netlist.mark_output(net);
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Netlist {
+        self.netlist
+    }
+
+    fn fresh_name(&mut self) -> String {
+        self.counter += 1;
+        format!("m{}", self.counter)
+    }
+
+    fn cell(&self, kind: CellKind) -> Result<nsigma_cells::CellId, MapError> {
+        self.lib
+            .find_kind(kind, 1)
+            .ok_or(MapError::MissingCell(kind.prefix()))
+    }
+
+    fn gate1(&mut self, kind: CellKind, a: NetId) -> Result<NetId, MapError> {
+        let cell = self.cell(kind)?;
+        let name = self.fresh_name();
+        Ok(self.netlist.add_gate(name, cell, &[a]).1)
+    }
+
+    fn gate2(&mut self, kind: CellKind, a: NetId, b: NetId) -> Result<NetId, MapError> {
+        let cell = self.cell(kind)?;
+        let name = self.fresh_name();
+        Ok(self.netlist.add_gate(name, cell, &[a, b]).1)
+    }
+
+    /// Balanced pairwise reduction with `f`.
+    fn reduce(
+        &mut self,
+        xs: &[NetId],
+        f: impl Fn(&mut Self, NetId, NetId) -> Result<NetId, MapError> + Copy,
+    ) -> Result<NetId, MapError> {
+        debug_assert!(!xs.is_empty());
+        if xs.len() == 1 {
+            return Ok(xs[0]);
+        }
+        let mut layer = xs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    f(self, pair[0], pair[1])?
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        Ok(layer[0])
+    }
+
+    fn and2(&mut self, a: NetId, b: NetId) -> Result<NetId, MapError> {
+        let n = self.gate2(CellKind::Nand2, a, b)?;
+        self.gate1(CellKind::Inv, n)
+    }
+
+    fn or2(&mut self, a: NetId, b: NetId) -> Result<NetId, MapError> {
+        let n = self.gate2(CellKind::Nor2, a, b)?;
+        self.gate1(CellKind::Inv, n)
+    }
+
+    fn map_op(&mut self, op: LogicOp, inputs: &[NetId]) -> Result<NetId, MapError> {
+        if inputs.is_empty() {
+            return Err(MapError::UndefinedSignal("<empty gate>".into()));
+        }
+        match op {
+            LogicOp::Not => self.gate1(CellKind::Inv, inputs[0]),
+            LogicOp::Buf => self.gate1(CellKind::Buf, inputs[0]),
+            LogicOp::And => self.reduce(inputs, Self::and2),
+            LogicOp::Or => self.reduce(inputs, Self::or2),
+            LogicOp::Nand => match inputs.len() {
+                1 => self.gate1(CellKind::Inv, inputs[0]),
+                2 => self.gate2(CellKind::Nand2, inputs[0], inputs[1]),
+                _ => {
+                    let head = self.reduce(&inputs[..inputs.len() - 1], Self::and2)?;
+                    self.gate2(CellKind::Nand2, head, inputs[inputs.len() - 1])
+                }
+            },
+            LogicOp::Nor => match inputs.len() {
+                1 => self.gate1(CellKind::Inv, inputs[0]),
+                2 => self.gate2(CellKind::Nor2, inputs[0], inputs[1]),
+                _ => {
+                    let head = self.reduce(&inputs[..inputs.len() - 1], Self::or2)?;
+                    self.gate2(CellKind::Nor2, head, inputs[inputs.len() - 1])
+                }
+            },
+            LogicOp::Xor => self.reduce(inputs, |s, a, b| s.gate2(CellKind::Xor2, a, b)),
+            LogicOp::Xnor => {
+                let x = self.reduce(inputs, |s, a, b| s.gate2(CellKind::Xor2, a, b))?;
+                self.gate1(CellKind::Inv, x)
+            }
+        }
+    }
+}
+
+/// Topological order of logic gates (indices into `logic.gates`).
+fn logic_topo_order(logic: &LogicCircuit) -> Result<Vec<usize>, MapError> {
+    let producer: HashMap<&str, usize> = logic
+        .gates
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.output.as_str(), i))
+        .collect();
+    let inputs: std::collections::HashSet<&str> =
+        logic.inputs.iter().map(|s| s.as_str()).collect();
+
+    let n = logic.gates.len();
+    let mut indegree = vec![0usize; n];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, g) in logic.gates.iter().enumerate() {
+        for s in &g.inputs {
+            if let Some(&p) = producer.get(s.as_str()) {
+                indegree[i] += 1;
+                consumers[p].push(i);
+            } else if !inputs.contains(s.as_str()) {
+                return Err(MapError::UndefinedSignal(s.clone()));
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        order.push(g);
+        for &c in &consumers[g] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(MapError::Cyclic);
+    }
+    Ok(order)
+}
+
+/// Sizes every gate from its fanout: 1 load → x1, 2–3 → x2, 4–7 → x4,
+/// 8+ → x8 (clamped to what the library provides).
+///
+/// # Errors
+///
+/// Returns [`MapError::MissingCell`] if the library lacks a strength tier
+/// for a kind that needs it.
+pub fn size_gates(netlist: &mut Netlist, lib: &CellLibrary) -> Result<(), MapError> {
+    let plan: Vec<(GateId, CellKind, u32)> = netlist
+        .gate_ids()
+        .map(|g| {
+            let gate = netlist.gate(g);
+            let fanout = netlist.fanout(gate.output).max(1);
+            let strength = match fanout {
+                0..=1 => 1,
+                2..=3 => 2,
+                4..=7 => 4,
+                _ => 8,
+            };
+            (g, lib.cell(gate.cell).kind(), strength)
+        })
+        .collect();
+    for (g, kind, strength) in plan {
+        let cell = lib
+            .find_kind(kind, strength)
+            .ok_or(MapError::MissingCell(kind.prefix()))?;
+        netlist.set_gate_cell(g, cell);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::topo;
+
+    #[test]
+    fn maps_two_input_gates_directly() {
+        let lib = CellLibrary::standard();
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NAND(a, b)\nz = XOR(a, b)\n",
+        )
+        .unwrap();
+        let nl = map_to_cells(&logic, &lib).unwrap();
+        assert_eq!(nl.num_gates(), 2);
+        let kinds: Vec<CellKind> = nl.gates().iter().map(|g| lib.cell(g.cell).kind()).collect();
+        assert!(kinds.contains(&CellKind::Nand2));
+        assert!(kinds.contains(&CellKind::Xor2));
+    }
+
+    #[test]
+    fn wide_and_decomposes_into_balanced_tree() {
+        let lib = CellLibrary::standard();
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = AND(a, b, c, d)\n",
+        )
+        .unwrap();
+        let nl = map_to_cells(&logic, &lib).unwrap();
+        // 4-AND: 3 AND2 = 3 NAND + 3 INV.
+        assert_eq!(nl.num_gates(), 6);
+        // Balanced tree: depth = 2 AND2 levels = 4 cell levels.
+        assert_eq!(topo::depth(&nl), 4);
+    }
+
+    #[test]
+    fn wide_nand_saves_final_inverter() {
+        let lib = CellLibrary::standard();
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = NAND(a, b, c)\n",
+        )
+        .unwrap();
+        let nl = map_to_cells(&logic, &lib).unwrap();
+        // NAND3 = AND2 (NAND+INV) + final NAND2 = 3 gates.
+        assert_eq!(nl.num_gates(), 3);
+    }
+
+    #[test]
+    fn fanout_sizing_upsizes_heavily_loaded_gates() {
+        let lib = CellLibrary::standard();
+        // One inverter driving 5 other inverters.
+        let mut text = String::from("INPUT(a)\nroot = NOT(a)\n");
+        for i in 0..5 {
+            text.push_str(&format!("o{i} = NOT(root)\nOUTPUT(o{i})\n"));
+        }
+        let logic = parse("fan", &text).unwrap();
+        let nl = map_to_cells(&logic, &lib).unwrap();
+        // The root inverter has fanout 5 → x4; leaves have fanout ≤1 → x1.
+        let strengths: Vec<u32> = nl
+            .gates()
+            .iter()
+            .map(|g| lib.cell(g.cell).strength())
+            .collect();
+        assert!(strengths.contains(&4), "strengths: {strengths:?}");
+        assert_eq!(strengths.iter().filter(|&&s| s == 1).count(), 5);
+    }
+
+    #[test]
+    fn mapped_netlist_is_acyclic_and_complete() {
+        let lib = CellLibrary::standard();
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nw = OR(a, b, c)\nx = XNOR(w, a)\ny = NOR(x, b)\n",
+        )
+        .unwrap();
+        let nl = map_to_cells(&logic, &lib).unwrap();
+        let order = topo::topo_order(&nl); // panics on cycles
+        assert_eq!(order.len(), nl.num_gates());
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn cyclic_logic_rejected() {
+        let lib = CellLibrary::standard();
+        let mut c = LogicCircuit::new("cyc");
+        c.inputs = vec!["a".into()];
+        c.add("x", LogicOp::Nand, &["a", "y"]);
+        c.add("y", LogicOp::Not, &["x"]);
+        c.outputs = vec!["y".into()];
+        assert_eq!(map_to_cells(&c, &lib), Err(MapError::Cyclic));
+    }
+}

@@ -1,0 +1,273 @@
+//! Post-mapping peephole optimization: complex-gate extraction.
+//!
+//! The 2-input decomposition of [`crate::mapping`] never emits the AOI/OAI
+//! complex gates a real synthesis flow produces (and which the paper's
+//! Table II characterizes). This pass finds the classic patterns
+//!
+//! ```text
+//! NOR2(INV(NAND2(a, b)), c)   →  AOI21(a, b, c)   (= !((a·b) + c))
+//! NAND2(INV(NOR2(a, b)), c)   →  OAI21(a, b, c)   (= !((a+b) · c))
+//! ```
+//!
+//! when the intermediate nets have no other fanout, shrinking three cells
+//! into one. Equivalence is guaranteed by construction and double-checked
+//! in the tests with the boolean simulator.
+
+use crate::ir::{GateId, NetDriver, NetId, Netlist};
+use crate::mapping::{size_gates, MapError};
+use nsigma_cells::{CellKind, CellLibrary};
+use std::collections::HashMap;
+
+/// Result of the optimization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// The rewritten netlist.
+    pub netlist: Netlist,
+    /// AOI21 instances created.
+    pub aoi_count: usize,
+    /// OAI21 instances created.
+    pub oai_count: usize,
+}
+
+/// One planned rewrite: the replacement kind and its input nets
+/// (the absorbed inverter + inner gate are tracked in the `consumed` set).
+struct Rewrite {
+    kind: CellKind,
+    /// Input nets (a, b, c) in original-netlist ids.
+    inputs: [NetId; 3],
+}
+
+/// Extracts AOI21/OAI21 complex gates where the pattern applies.
+///
+/// The rewritten netlist preserves primary input/output names and net names
+/// of surviving gates; gate sizing is re-run afterwards so the new complex
+/// cells get fanout-appropriate strengths.
+///
+/// # Errors
+///
+/// Returns [`MapError::MissingCell`] if the library lacks AOI2/OAI2 cells.
+pub fn extract_complex_gates(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+) -> Result<OptimizeReport, MapError> {
+    let aoi = lib
+        .find_kind(CellKind::Aoi21, 1)
+        .ok_or(MapError::MissingCell("AOI2"))?;
+    let oai = lib
+        .find_kind(CellKind::Oai21, 1)
+        .ok_or(MapError::MissingCell("OAI2"))?;
+
+    // Pattern matching on the original netlist.
+    let mut rewrites: HashMap<GateId, Rewrite> = HashMap::new();
+    let mut consumed: std::collections::HashSet<GateId> = std::collections::HashSet::new();
+
+    for g in netlist.gate_ids() {
+        if consumed.contains(&g) {
+            continue;
+        }
+        let gate = netlist.gate(g);
+        let outer = lib.cell(gate.cell).kind();
+        let (outer_match, inner_kind, new_kind, new_cell) = match outer {
+            CellKind::Nor2 => (true, CellKind::Nand2, CellKind::Aoi21, aoi),
+            CellKind::Nand2 => (true, CellKind::Nor2, CellKind::Oai21, oai),
+            _ => (false, CellKind::Inv, CellKind::Inv, aoi),
+        };
+        if !outer_match || gate.inputs.len() != 2 {
+            continue;
+        }
+        // Try both input orders: one leg must be INV(inner(a,b)) with
+        // single-fanout intermediates.
+        for (x_pos, c_pos) in [(0usize, 1usize), (1, 0)] {
+            let x = gate.inputs[x_pos];
+            let c = gate.inputs[c_pos];
+            let NetDriver::Gate(g_inv) = netlist.net(x).driver else {
+                continue;
+            };
+            if consumed.contains(&g_inv) || rewrites.contains_key(&g_inv) {
+                continue;
+            }
+            let inv_gate = netlist.gate(g_inv);
+            if lib.cell(inv_gate.cell).kind() != CellKind::Inv || netlist.fanout(x) != 1 {
+                continue;
+            }
+            let w = inv_gate.inputs[0];
+            let NetDriver::Gate(g_inner) = netlist.net(w).driver else {
+                continue;
+            };
+            if consumed.contains(&g_inner) || rewrites.contains_key(&g_inner) {
+                continue;
+            }
+            let inner_gate = netlist.gate(g_inner);
+            if lib.cell(inner_gate.cell).kind() != inner_kind
+                || netlist.fanout(w) != 1
+                || inner_gate.inputs.len() != 2
+            {
+                continue;
+            }
+            let (a, b) = (inner_gate.inputs[0], inner_gate.inputs[1]);
+            // c must not depend on the absorbed gates (it cannot: they only
+            // feed x/w which have single fanout into this cone).
+            rewrites.insert(
+                g,
+                Rewrite {
+                    kind: new_kind,
+                    inputs: [a, b, c],
+                },
+            );
+            consumed.insert(g_inv);
+            consumed.insert(g_inner);
+            let _ = new_cell;
+            break;
+        }
+    }
+
+    // Rebuild the netlist in topological order with the rewrites applied.
+    let mut out = Netlist::new(netlist.name());
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in netlist.inputs() {
+        let id = out.add_input(netlist.net(pi).name.clone());
+        net_map.insert(pi, id);
+    }
+
+    let mut aoi_count = 0;
+    let mut oai_count = 0;
+    for g in crate::topo::topo_order(netlist) {
+        if consumed.contains(&g) {
+            continue;
+        }
+        let gate = netlist.gate(g);
+        let (cell, inputs): (nsigma_cells::CellId, Vec<NetId>) = match rewrites.get(&g) {
+            Some(rw) => {
+                match rw.kind {
+                    CellKind::Aoi21 => aoi_count += 1,
+                    CellKind::Oai21 => oai_count += 1,
+                    _ => unreachable!("only AOI/OAI rewrites are planned"),
+                }
+                let cell = if rw.kind == CellKind::Aoi21 { aoi } else { oai };
+                (cell, rw.inputs.to_vec())
+            }
+            None => (gate.cell, gate.inputs.clone()),
+        };
+        let mapped: Vec<NetId> = inputs
+            .iter()
+            .map(|n| {
+                *net_map
+                    .get(n)
+                    .expect("topological order guarantees mapped fanins")
+            })
+            .collect();
+        let (_, new_out) = out.add_gate(gate.name.clone(), cell, &mapped);
+        out.rename_net(new_out, netlist.net(gate.output).name.clone());
+        net_map.insert(gate.output, new_out);
+    }
+    for &po in netlist.outputs() {
+        let id = *net_map
+            .get(&po)
+            .expect("outputs survive (only interior cones are absorbed)");
+        out.mark_output(id);
+    }
+
+    size_gates(&mut out, lib)?;
+    let _ = rewrites; // consumed bookkeeping ends here
+    Ok(OptimizeReport {
+        netlist: out,
+        aoi_count,
+        oai_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::generators::random_dag::Iscas85;
+    use crate::mapping::map_to_cells;
+    use crate::sim::evaluate;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn equivalent(a: &Netlist, b: &Netlist, lib: &CellLibrary, vectors: usize, seed: u64) -> bool {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..vectors {
+            let pi: Vec<bool> = (0..a.inputs().len()).map(|_| rng.gen()).collect();
+            if evaluate(a, lib, &pi) != evaluate(b, lib, &pi) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn extracts_aoi_from_or_of_and() {
+        let lib = CellLibrary::standard();
+        // y = !((a·b) + c): maps to NAND+INV+NOR+... with the AOI pattern.
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nw = AND(a, b)\nv = OR(w, c)\ny = NOT(v)\n",
+        )
+        .unwrap();
+        let mapped = map_to_cells(&logic, &lib).unwrap();
+        let report = extract_complex_gates(&mapped, &lib).unwrap();
+        assert!(report.aoi_count >= 1, "AOI pattern must be found");
+        assert!(report.netlist.num_gates() < mapped.num_gates());
+        assert!(equivalent(&mapped, &report.netlist, &lib, 32, 1));
+    }
+
+    #[test]
+    fn extracts_oai_from_and_of_or() {
+        let lib = CellLibrary::standard();
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nw = OR(a, b)\nv = AND(w, c)\ny = NOT(v)\n",
+        )
+        .unwrap();
+        let mapped = map_to_cells(&logic, &lib).unwrap();
+        let report = extract_complex_gates(&mapped, &lib).unwrap();
+        assert!(report.oai_count >= 1, "OAI pattern must be found");
+        assert!(equivalent(&mapped, &report.netlist, &lib, 32, 2));
+    }
+
+    #[test]
+    fn no_extraction_across_multi_fanout() {
+        let lib = CellLibrary::standard();
+        // The AND output also feeds a second output: the intermediate has
+        // fanout 2, so the pattern must NOT fire.
+        let logic = parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+             w = AND(a, b)\nv = OR(w, c)\ny = NOT(v)\nz = NOT(w)\n",
+        )
+        .unwrap();
+        let mapped = map_to_cells(&logic, &lib).unwrap();
+        let report = extract_complex_gates(&mapped, &lib).unwrap();
+        assert_eq!(report.aoi_count, 0);
+        assert!(equivalent(&mapped, &report.netlist, &lib, 32, 3));
+    }
+
+    #[test]
+    fn benchmark_circuit_keeps_function_and_shrinks() {
+        let lib = CellLibrary::standard();
+        let mapped = map_to_cells(&Iscas85::C432.generate(), &lib).unwrap();
+        let report = extract_complex_gates(&mapped, &lib).unwrap();
+        assert!(
+            report.aoi_count + report.oai_count > 0,
+            "ISCAS-like circuits contain complex-gate patterns"
+        );
+        assert_eq!(
+            report.netlist.num_gates(),
+            mapped.num_gates() - 2 * (report.aoi_count + report.oai_count)
+        );
+        assert!(equivalent(&mapped, &report.netlist, &lib, 16, 4));
+    }
+
+    #[test]
+    fn idempotent_second_pass() {
+        let lib = CellLibrary::standard();
+        let mapped = map_to_cells(&Iscas85::C1355.generate(), &lib).unwrap();
+        let once = extract_complex_gates(&mapped, &lib).unwrap();
+        let twice = extract_complex_gates(&once.netlist, &lib).unwrap();
+        assert_eq!(twice.aoi_count + twice.oai_count, 0, "no patterns remain");
+    }
+}

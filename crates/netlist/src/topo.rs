@@ -1,0 +1,427 @@
+//! Structural analysis of netlists: topological order, levelization and
+//! path extraction.
+
+use crate::ir::{GateId, NetDriver, NetId, Netlist};
+
+/// Gates in topological order (every gate after all gates feeding it).
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle.
+pub fn topo_order(netlist: &Netlist) -> Vec<GateId> {
+    let n = netlist.num_gates();
+    let mut indegree = vec![0usize; n];
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        indegree[idx] = gate
+            .inputs
+            .iter()
+            .filter(|&&i| matches!(netlist.net(i).driver, NetDriver::Gate(_)))
+            .count();
+    }
+
+    let mut queue: Vec<GateId> = netlist
+        .gate_ids()
+        .filter(|&g| indegree[g.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        order.push(g);
+        let out = netlist.gate(g).output;
+        for &(load, _) in &netlist.net(out).loads {
+            indegree[load.index()] -= 1;
+            if indegree[load.index()] == 0 {
+                queue.push(load);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        n,
+        "netlist contains a combinational cycle ({} of {} gates ordered)",
+        order.len(),
+        n
+    );
+    order
+}
+
+/// Logic level of every gate: PIs are level 0; a gate's level is
+/// 1 + max(level of fanin gates).
+pub fn levels(netlist: &Netlist) -> Vec<usize> {
+    let order = topo_order(netlist);
+    let mut level = vec![0usize; netlist.num_gates()];
+    for g in order {
+        let mut lvl = 0;
+        for &i in &netlist.gate(g).inputs {
+            if let NetDriver::Gate(src) = netlist.net(i).driver {
+                lvl = lvl.max(level[src.index()] + 1);
+            } else {
+                lvl = lvl.max(1);
+            }
+        }
+        level[g.index()] = lvl;
+    }
+    level
+}
+
+/// Logic depth of the netlist (max gate level).
+pub fn depth(netlist: &Netlist) -> usize {
+    levels(netlist).into_iter().max().unwrap_or(0)
+}
+
+/// A structural path: the gates traversed from a primary input to a primary
+/// output, plus the nets between them (input net of the first gate first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Gates along the path, source first.
+    pub gates: Vec<GateId>,
+    /// Nets along the path: the net *into* each gate, then the final output
+    /// net — `nets.len() == gates.len() + 1`.
+    pub nets: Vec<NetId>,
+}
+
+impl Path {
+    /// Number of stages (gates).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the path has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+}
+
+/// Extracts the path that maximizes the sum of `gate_weight` over its gates
+/// (the structural critical path for any additive per-stage metric).
+///
+/// Returns `None` for a netlist with no gates.
+pub fn longest_path_by(netlist: &Netlist, gate_weight: impl Fn(GateId) -> f64) -> Option<Path> {
+    let order = topo_order(netlist);
+    if order.is_empty() {
+        return None;
+    }
+    let n = netlist.num_gates();
+    // Best arrival weight at each gate's output and the predecessor gate
+    // (None when the best path starts at this gate from a PI).
+    let mut arrival = vec![f64::NEG_INFINITY; n];
+    let mut pred: Vec<Option<GateId>> = vec![None; n];
+    for &g in &order {
+        let mut best = 0.0;
+        let mut best_pred = None;
+        for &i in &netlist.gate(g).inputs {
+            if let NetDriver::Gate(src) = netlist.net(i).driver {
+                if arrival[src.index()] > best {
+                    best = arrival[src.index()];
+                    best_pred = Some(src);
+                }
+            }
+        }
+        arrival[g.index()] = best + gate_weight(g);
+        pred[g.index()] = best_pred;
+    }
+
+    // Endpoint: the driver gate of the worst primary output (fall back to
+    // the globally worst gate if no outputs are marked).
+    let mut end: Option<GateId> = None;
+    let mut end_arrival = f64::NEG_INFINITY;
+    for &o in netlist.outputs() {
+        if let NetDriver::Gate(g) = netlist.net(o).driver {
+            if arrival[g.index()] > end_arrival {
+                end_arrival = arrival[g.index()];
+                end = Some(g);
+            }
+        }
+    }
+    if end.is_none() {
+        for &g in &order {
+            if arrival[g.index()] > end_arrival {
+                end_arrival = arrival[g.index()];
+                end = Some(g);
+            }
+        }
+    }
+    let end = end?;
+
+    // Walk back.
+    let mut gates = vec![end];
+    let mut cur = end;
+    while let Some(p) = pred[cur.index()] {
+        gates.push(p);
+        cur = p;
+    }
+    gates.reverse();
+
+    // Reconstruct the nets: input net into each gate (the one fed by the
+    // previous path gate, or any PI-driven net for the first), then the
+    // final output.
+    let mut nets = Vec::with_capacity(gates.len() + 1);
+    for (k, &g) in gates.iter().enumerate() {
+        let want_prev = if k == 0 { None } else { Some(gates[k - 1]) };
+        let gate = netlist.gate(g);
+        let input = gate
+            .inputs
+            .iter()
+            .copied()
+            .find(|&i| match (want_prev, netlist.net(i).driver) {
+                (Some(prev), NetDriver::Gate(src)) => src == prev,
+                (None, _) => true,
+                _ => false,
+            })
+            .unwrap_or(gate.inputs[0]);
+        nets.push(input);
+    }
+    nets.push(netlist.gate(end).output);
+
+    Some(Path { gates, nets })
+}
+
+/// The structural longest path by gate count.
+pub fn longest_path(netlist: &Netlist) -> Option<Path> {
+    longest_path_by(netlist, |_| 1.0)
+}
+
+/// The `k` heaviest PI→PO paths under an additive per-gate weight — the
+/// "report the N worst paths" primitive every sign-off timer provides.
+///
+/// Dynamic program: each gate keeps its top-`k` arrival values together
+/// with (predecessor gate, predecessor rank); paths are reconstructed by
+/// walking those links back. Returns fewer than `k` paths when the DAG has
+/// fewer distinct PI→PO routes. Paths are sorted heaviest first.
+pub fn k_longest_paths_by(
+    netlist: &Netlist,
+    gate_weight: impl Fn(GateId) -> f64,
+    k: usize,
+) -> Vec<Path> {
+    if k == 0 || netlist.num_gates() == 0 {
+        return Vec::new();
+    }
+    let order = topo_order(netlist);
+    let n = netlist.num_gates();
+    // Per gate: up to k (arrival, Option<(pred_gate, pred_rank)>), sorted
+    // descending by arrival.
+    let mut tops: Vec<Vec<(f64, Option<(GateId, usize)>)>> = vec![Vec::new(); n];
+
+    for &g in &order {
+        let w = gate_weight(g);
+        let mut cands: Vec<(f64, Option<(GateId, usize)>)> = Vec::new();
+        let mut from_pi = false;
+        for &i in &netlist.gate(g).inputs {
+            match netlist.net(i).driver {
+                NetDriver::Gate(src) => {
+                    for (rank, &(a, _)) in tops[src.index()].iter().enumerate() {
+                        cands.push((a + w, Some((src, rank))));
+                    }
+                }
+                NetDriver::PrimaryInput => from_pi = true,
+            }
+        }
+        if from_pi || cands.is_empty() {
+            cands.push((w, None));
+        }
+        cands.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
+        cands.truncate(k);
+        tops[g.index()] = cands;
+    }
+
+    // Collect endpoint candidates over PO drivers (fallback: all gates).
+    let mut endpoints: Vec<(f64, GateId, usize)> = Vec::new();
+    let mut po_drivers: Vec<GateId> = netlist
+        .outputs()
+        .iter()
+        .filter_map(|&o| match netlist.net(o).driver {
+            NetDriver::Gate(g) => Some(g),
+            NetDriver::PrimaryInput => None,
+        })
+        .collect();
+    po_drivers.sort_unstable();
+    po_drivers.dedup();
+    if po_drivers.is_empty() {
+        po_drivers = order.clone();
+    }
+    for g in po_drivers {
+        for (rank, &(a, _)) in tops[g.index()].iter().enumerate() {
+            endpoints.push((a, g, rank));
+        }
+    }
+    endpoints.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
+    endpoints.truncate(k);
+
+    endpoints
+        .into_iter()
+        .map(|(_, end, rank)| reconstruct(netlist, &tops, end, rank))
+        .collect()
+}
+
+/// Walks the top-k links back from `(end, rank)` into a [`Path`].
+fn reconstruct(
+    netlist: &Netlist,
+    tops: &[Vec<(f64, Option<(GateId, usize)>)>],
+    end: GateId,
+    rank: usize,
+) -> Path {
+    let mut gates = vec![end];
+    let mut cur = (end, rank);
+    while let Some((pred, pred_rank)) = tops[cur.0.index()][cur.1].1 {
+        gates.push(pred);
+        cur = (pred, pred_rank);
+    }
+    gates.reverse();
+
+    let mut nets = Vec::with_capacity(gates.len() + 1);
+    for (idx, &g) in gates.iter().enumerate() {
+        let want_prev = if idx == 0 { None } else { Some(gates[idx - 1]) };
+        let gate = netlist.gate(g);
+        let input = gate
+            .inputs
+            .iter()
+            .copied()
+            .find(|&i| match (want_prev, netlist.net(i).driver) {
+                (Some(prev), NetDriver::Gate(src)) => src == prev,
+                (None, _) => true,
+                _ => false,
+            })
+            .unwrap_or(gate.inputs[0]);
+        nets.push(input);
+    }
+    nets.push(netlist.gate(end).output);
+    Path { gates, nets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsigma_cells::CellLibrary;
+
+    fn chain(n: usize) -> Netlist {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INVx1").unwrap();
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("a");
+        for i in 0..n {
+            let (_, o) = nl.add_gate(format!("u{i}"), inv, &[cur]);
+            cur = o;
+        }
+        nl.mark_output(cur);
+        nl
+    }
+
+    #[test]
+    fn chain_topology() {
+        let nl = chain(5);
+        let order = topo_order(&nl);
+        assert_eq!(order.len(), 5);
+        for w in order.windows(2) {
+            assert!(w[0].index() < w[1].index(), "chain order is identity");
+        }
+        assert_eq!(depth(&nl), 5);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INVx1").unwrap();
+        let nand = lib.find("NAND2x1").unwrap();
+        let mut nl = Netlist::new("diamond");
+        let a = nl.add_input("a");
+        let (_, l) = nl.add_gate("left", inv, &[a]);
+        let (_, r1) = nl.add_gate("right1", inv, &[a]);
+        let (_, r2) = nl.add_gate("right2", inv, &[r1]);
+        let (_, y) = nl.add_gate("join", nand, &[l, r2]);
+        nl.mark_output(y);
+        let lv = levels(&nl);
+        assert_eq!(lv, vec![1, 1, 2, 3]);
+        assert_eq!(depth(&nl), 3);
+    }
+
+    #[test]
+    fn longest_path_takes_heavier_branch() {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INVx1").unwrap();
+        let nand = lib.find("NAND2x1").unwrap();
+        let mut nl = Netlist::new("asym");
+        let a = nl.add_input("a");
+        let (g_fast, f) = nl.add_gate("fast", inv, &[a]);
+        let (_, s1) = nl.add_gate("slow1", inv, &[a]);
+        let (g_slow2, s2) = nl.add_gate("slow2", inv, &[s1]);
+        let (g_join, y) = nl.add_gate("join", nand, &[f, s2]);
+        nl.mark_output(y);
+
+        let p = longest_path(&nl).unwrap();
+        assert_eq!(p.gates.last().copied(), Some(g_join));
+        assert!(p.gates.contains(&g_slow2));
+        assert!(!p.gates.contains(&g_fast));
+        assert_eq!(p.nets.len(), p.gates.len() + 1);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn weighted_path_can_flip_choice() {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INVx1").unwrap();
+        let nand = lib.find("NAND2x1").unwrap();
+        let mut nl = Netlist::new("weights");
+        let a = nl.add_input("a");
+        let (g_big, f) = nl.add_gate("big", inv, &[a]);
+        let (_, s1) = nl.add_gate("s1", inv, &[a]);
+        let (_, s2) = nl.add_gate("s2", inv, &[s1]);
+        let (_, y) = nl.add_gate("join", nand, &[f, s2]);
+        nl.mark_output(y);
+
+        // Make the single "big" gate heavier than the two-stage branch.
+        let p = longest_path_by(&nl, |g| if g == g_big { 10.0 } else { 1.0 }).unwrap();
+        assert!(p.gates.contains(&g_big));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn k_longest_returns_distinct_ordered_paths() {
+        let lib = CellLibrary::standard();
+        let inv = lib.find("INVx1").unwrap();
+        let nand = lib.find("NAND2x1").unwrap();
+        // Two reconvergent branches of different depth into one endpoint.
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a");
+        let (_, s1) = nl.add_gate("s1", inv, &[a]);
+        let (_, s2) = nl.add_gate("s2", inv, &[s1]);
+        let (_, s3) = nl.add_gate("s3", inv, &[s2]);
+        let (_, f1) = nl.add_gate("f1", inv, &[a]);
+        let (_, y) = nl.add_gate("join", nand, &[s3, f1]);
+        nl.mark_output(y);
+
+        let paths = k_longest_paths_by(&nl, |_| 1.0, 3);
+        assert_eq!(paths.len(), 2, "only two distinct PI→PO routes exist");
+        assert_eq!(paths[0].len(), 4); // deep branch + join
+        assert_eq!(paths[1].len(), 2); // shallow branch + join
+        // Heaviest first, and the first equals longest_path.
+        let single = longest_path(&nl).unwrap();
+        assert_eq!(paths[0], single);
+    }
+
+    #[test]
+    fn k_longest_on_adder_ranks_by_weight() {
+        use crate::generators::arith::ripple_adder;
+        use crate::mapping::map_to_cells;
+        let lib = CellLibrary::standard();
+        let nl = map_to_cells(&ripple_adder(8), &lib).unwrap();
+        let paths = k_longest_paths_by(&nl, |_| 1.0, 5);
+        assert_eq!(paths.len(), 5);
+        for w in paths.windows(2) {
+            assert!(w[0].len() >= w[1].len(), "descending weight order");
+        }
+        // All paths end at primary outputs.
+        for p in &paths {
+            let last = *p.nets.last().unwrap();
+            assert!(nl.outputs().contains(&last));
+        }
+    }
+
+    #[test]
+    fn empty_netlist_has_no_path() {
+        let nl = Netlist::new("empty");
+        assert!(longest_path(&nl).is_none());
+        assert_eq!(depth(&nl), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Structural Verilog subset: the gate-level netlist interchange real flows
+//! use between synthesis and sign-off (alongside the `.bench` academic
+//! format).
+//!
+//! The subset written and parsed here:
+//!
+//! ```verilog
+//! module c432 (pi0, pi1, po0);
+//!   input pi0, pi1;
+//!   output po0;
+//!   wire w1;
+//!   NAND2x1 u1 (.A1(pi0), .A2(pi1), .Y(w1));
+//!   INVx2 u2 (.A1(w1), .Y(po0));
+//! endmodule
+//! ```
+//!
+//! Pins follow the library convention: inputs `A1…An`, output `Y`.
+
+use crate::ir::{NetDriver, NetId, Netlist};
+use nsigma_cells::CellLibrary;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Sanitizes a net name into a Verilog identifier.
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+/// Writes a netlist as structural Verilog.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_cells::CellLibrary;
+/// use nsigma_netlist::ir::Netlist;
+/// use nsigma_netlist::verilog::write_verilog;
+///
+/// let lib = CellLibrary::standard();
+/// let inv = lib.find("INVx1").expect("INVx1");
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_input("a");
+/// let (_, y) = n.add_gate("u1", inv, &[a]);
+/// n.mark_output(y);
+/// let v = write_verilog(&n, &lib);
+/// assert!(v.contains("module demo"));
+/// assert!(v.contains("INVx1 u1"));
+/// ```
+pub fn write_verilog(netlist: &Netlist, lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    let net_name: Vec<String> = netlist
+        .net_ids()
+        .map(|n| ident(&netlist.net(n).name))
+        .collect();
+
+    let inputs: Vec<&str> = netlist
+        .inputs()
+        .iter()
+        .map(|&n| net_name[n.index()].as_str())
+        .collect();
+    let outputs: Vec<&str> = netlist
+        .outputs()
+        .iter()
+        .map(|&n| net_name[n.index()].as_str())
+        .collect();
+
+    let mut ports: Vec<&str> = inputs.clone();
+    ports.extend(outputs.iter());
+    writeln!(out, "module {} ({});", ident(netlist.name()), ports.join(", ")).expect("write");
+    writeln!(out, "  input {};", inputs.join(", ")).expect("write");
+    writeln!(out, "  output {};", outputs.join(", ")).expect("write");
+
+    let port_set: std::collections::HashSet<&str> = ports.iter().copied().collect();
+    let wires: Vec<&str> = netlist
+        .net_ids()
+        .map(|n| net_name[n.index()].as_str())
+        .filter(|n| !port_set.contains(n))
+        .collect();
+    if !wires.is_empty() {
+        writeln!(out, "  wire {};", wires.join(", ")).expect("write");
+    }
+
+    for gate in netlist.gates() {
+        let cell = lib.cell(gate.cell);
+        let mut conns: Vec<String> = gate
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| format!(".A{}({})", i + 1, net_name[n.index()]))
+            .collect();
+        conns.push(format!(".Y({})", net_name[gate.output.index()]));
+        writeln!(
+            out,
+            "  {} {} ({});",
+            cell.name(),
+            ident(&gate.name),
+            conns.join(", ")
+        )
+        .expect("write");
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Error parsing the Verilog subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseVerilogError {
+    /// No `module` header.
+    MissingModule,
+    /// An instance references a cell missing from the library.
+    UnknownCell(String),
+    /// An instance pin references an undeclared net.
+    UnknownNet(String),
+    /// A statement could not be parsed; carries the 1-based line number.
+    BadStatement(usize),
+    /// An instance is missing its output pin `Y`.
+    MissingOutput(String),
+}
+
+impl std::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseVerilogError::MissingModule => write!(f, "missing module header"),
+            ParseVerilogError::UnknownCell(c) => write!(f, "unknown cell '{c}'"),
+            ParseVerilogError::UnknownNet(n) => write!(f, "undeclared net '{n}'"),
+            ParseVerilogError::BadStatement(l) => write!(f, "malformed statement at line {l}"),
+            ParseVerilogError::MissingOutput(i) => write!(f, "instance '{i}' has no .Y pin"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+/// Parses the structural Verilog subset back into a [`Netlist`].
+///
+/// Instances must appear in topological order is **not** required — the
+/// parser runs two passes (declarations, then connections) and orders gates
+/// as written while resolving forward references through declared wires.
+///
+/// # Errors
+///
+/// Returns a [`ParseVerilogError`] describing the first problem found.
+pub fn parse_verilog(text: &str, lib: &CellLibrary) -> Result<Netlist, ParseVerilogError> {
+    // Normalize: strip comments, join statements (split on ';').
+    let cleaned: String = text
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut module_name = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut wires: Vec<String> = Vec::new();
+    struct Inst {
+        cell: String,
+        name: String,
+        pins: Vec<(String, String)>,
+        line: usize,
+    }
+    let mut instances: Vec<Inst> = Vec::new();
+
+    for (lineno, stmt) in cleaned.split(';').enumerate() {
+        let stmt = stmt.trim().trim_end_matches("endmodule").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module ") {
+            module_name = rest.split('(').next().map(|s| s.trim().to_string());
+        } else if let Some(rest) = stmt.strip_prefix("input ") {
+            inputs.extend(rest.split(',').map(|s| s.trim().to_string()));
+        } else if let Some(rest) = stmt.strip_prefix("output ") {
+            outputs.extend(rest.split(',').map(|s| s.trim().to_string()));
+        } else if let Some(rest) = stmt.strip_prefix("wire ") {
+            wires.extend(rest.split(',').map(|s| s.trim().to_string()));
+        } else {
+            // Instance: CELL name ( .PIN(net), ... )
+            let open = stmt.find('(').ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
+            let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                return Err(ParseVerilogError::BadStatement(lineno + 1));
+            }
+            let body = stmt[open + 1..]
+                .trim_end()
+                .strip_suffix(')')
+                .ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
+            let mut pins = Vec::new();
+            for conn in body.split(',') {
+                let conn = conn.trim();
+                let pin = conn
+                    .strip_prefix('.')
+                    .and_then(|c| c.split('(').next())
+                    .ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
+                let net = conn
+                    .split('(')
+                    .nth(1)
+                    .and_then(|c| c.strip_suffix(')'))
+                    .ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
+                pins.push((pin.trim().to_string(), net.trim().to_string()));
+            }
+            instances.push(Inst {
+                cell: head[0].to_string(),
+                name: head[1].to_string(),
+                pins,
+                line: lineno + 1,
+            });
+        }
+    }
+
+    let module_name = module_name.ok_or(ParseVerilogError::MissingModule)?;
+    let mut netlist = Netlist::new(module_name);
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    for i in &inputs {
+        nets.insert(i.clone(), netlist.add_input(i.clone()));
+    }
+
+    // Map each instance's output net name; gates are created in an order
+    // that satisfies the IR's parents-exist rule by iterating until all
+    // placeable instances are placed (handles arbitrary statement order).
+    let mut placed = vec![false; instances.len()];
+    let mut remaining = instances.len();
+    while remaining > 0 {
+        let mut progress = false;
+        for (idx, inst) in instances.iter().enumerate() {
+            if placed[idx] {
+                continue;
+            }
+            // Collect input pins sorted A1, A2, ...
+            let mut ins: Vec<(&String, &String)> = inst
+                .pins
+                .iter()
+                .filter(|(p, _)| p != "Y")
+                .map(|(p, n)| (p, n))
+                .collect();
+            ins.sort_by(|a, b| a.0.cmp(b.0));
+            if !ins.iter().all(|(_, n)| nets.contains_key(*n)) {
+                continue; // inputs not all resolved yet
+            }
+            let cell = lib
+                .find(&inst.cell)
+                .ok_or_else(|| ParseVerilogError::UnknownCell(inst.cell.clone()))?;
+            let out_name = inst
+                .pins
+                .iter()
+                .find(|(p, _)| p == "Y")
+                .map(|(_, n)| n.clone())
+                .ok_or_else(|| ParseVerilogError::MissingOutput(inst.name.clone()))?;
+            let input_ids: Vec<NetId> = ins.iter().map(|(_, n)| nets[*n]).collect();
+            let (_, out_id) = netlist.add_gate(inst.name.clone(), cell, &input_ids);
+            netlist.rename_net(out_id, out_name.clone());
+            nets.insert(out_name, out_id);
+            placed[idx] = true;
+            remaining -= 1;
+            progress = true;
+        }
+        if !progress {
+            // Some instance references a net that is never driven.
+            let bad = instances
+                .iter()
+                .enumerate()
+                .find(|(i, _)| !placed[*i])
+                .map(|(_, inst)| inst)
+                .expect("remaining > 0 implies an unplaced instance");
+            let missing = bad
+                .pins
+                .iter()
+                .find(|(p, n)| p != "Y" && !nets.contains_key(n))
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("line {}", bad.line));
+            return Err(ParseVerilogError::UnknownNet(missing));
+        }
+    }
+
+    for o in &outputs {
+        let id = nets
+            .get(o)
+            .copied()
+            .ok_or_else(|| ParseVerilogError::UnknownNet(o.clone()))?;
+        netlist.mark_output(id);
+    }
+    let _ = wires; // declarations are implicit in the IR
+    Ok(netlist)
+}
+
+/// Structural equality check used by the round-trip tests: same PIs/POs and
+/// the same (cell, fanin-names) per gate output.
+pub fn structurally_equal(a: &Netlist, b: &Netlist, lib: &CellLibrary) -> bool {
+    if a.num_gates() != b.num_gates() || a.inputs().len() != b.inputs().len() {
+        return false;
+    }
+    let sig = |n: &Netlist| -> Vec<(String, String, Vec<String>)> {
+        let mut v: Vec<_> = n
+            .gates()
+            .iter()
+            .map(|g| {
+                let cell = lib.cell(g.cell).name().to_string();
+                let out = ident(&n.net(g.output).name);
+                let ins: Vec<String> = g
+                    .inputs
+                    .iter()
+                    .map(|&i| ident(&n.net(i).name))
+                    .collect();
+                (out, cell, ins)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let drv = |n: &Netlist| {
+        n.nets()
+            .iter()
+            .filter(|net| matches!(net.driver, NetDriver::PrimaryInput))
+            .count()
+    };
+    sig(a) == sig(b) && drv(a) == drv(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::arith::ripple_adder;
+    use crate::mapping::map_to_cells;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let lib = CellLibrary::standard();
+        let original = map_to_cells(&ripple_adder(6), &lib).unwrap();
+        let text = write_verilog(&original, &lib);
+        let parsed = parse_verilog(&text, &lib).unwrap();
+        assert!(structurally_equal(&original, &parsed, &lib));
+        assert_eq!(parsed.outputs().len(), original.outputs().len());
+    }
+
+    #[test]
+    fn parses_out_of_order_instances() {
+        let lib = CellLibrary::standard();
+        let text = "\
+module t (a, y);
+  input a;
+  output y;
+  wire w;
+  INVx1 u2 (.A1(w), .Y(y));
+  INVx1 u1 (.A1(a), .Y(w));
+endmodule
+";
+        let n = parse_verilog(text, &lib).unwrap();
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(crate::topo::depth(&n), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_cell() {
+        let lib = CellLibrary::standard();
+        let text = "module t (a, y);\n input a;\n output y;\n MYSTERY u1 (.A1(a), .Y(y));\nendmodule\n";
+        assert_eq!(
+            parse_verilog(text, &lib).unwrap_err(),
+            ParseVerilogError::UnknownCell("MYSTERY".into())
+        );
+    }
+
+    #[test]
+    fn rejects_undriven_net() {
+        let lib = CellLibrary::standard();
+        let text = "module t (a, y);\n input a;\n output y;\n INVx1 u1 (.A1(ghost), .Y(y));\nendmodule\n";
+        assert_eq!(
+            parse_verilog(text, &lib).unwrap_err(),
+            ParseVerilogError::UnknownNet("ghost".into())
+        );
+    }
+
+    #[test]
+    fn rejects_missing_output_pin() {
+        let lib = CellLibrary::standard();
+        let text = "module t (a, y);\n input a;\n output y;\n INVx1 u1 (.A1(a));\nendmodule\n";
+        assert_eq!(
+            parse_verilog(text, &lib).unwrap_err(),
+            ParseVerilogError::MissingOutput("u1".into())
+        );
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(ident("u1__o"), "u1__o");
+        assert_eq!(ident("3weird"), "n3weird");
+        assert_eq!(ident("a.b[2]"), "a_b_2_");
+    }
+}

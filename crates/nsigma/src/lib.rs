@@ -1,0 +1,58 @@
+//! # nsigma
+//!
+//! A from-scratch Rust reproduction of *“A Novel Delay Calibration Method
+//! Considering Interaction between Cells and Wires”* (Leilei Jin et al.,
+//! DATE 2023): moment-based statistical cell delay quantiles, Elmore-based
+//! wire delay with driver/load-calibrated variability, and the N-sigma
+//! statistical timer built on them — plus every substrate the evaluation
+//! needs (synthetic 28 nm technology, Monte-Carlo golden simulator, RC
+//! interconnect, netlist infrastructure and baselines).
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`stats`] — distributions, moments, sigma-level quantiles, regression;
+//! * [`process`] — the synthetic near-threshold technology and variation;
+//! * [`cells`] — the standard-cell library and MC characterization;
+//! * [`interconnect`] — RC trees, Elmore/D2M metrics, transient solver;
+//! * [`netlist`] — gate-level IR, `.bench` parsing, circuit generators;
+//! * [`mc`] — the golden Monte-Carlo timing simulator (SPICE substitute);
+//! * [`core`] — **the paper's contribution**: Table I quantile model,
+//!   eqs. 1–3 moment calibration, eqs. 5–9 wire variability, eq. 10 STA;
+//! * [`baselines`] — LSN, Burr, corner STA, ML wire and correction-factor
+//!   comparison methods.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for the full flow; the short version:
+//!
+//! ```no_run
+//! use nsigma::cells::CellLibrary;
+//! use nsigma::core::sta::{NsigmaTimer, TimerConfig};
+//! use nsigma::mc::design::Design;
+//! use nsigma::netlist::generators::arith::ripple_adder;
+//! use nsigma::netlist::mapping::map_to_cells;
+//! use nsigma::process::Technology;
+//! use nsigma::stats::quantile::SigmaLevel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::synthetic_28nm();
+//! let lib = CellLibrary::standard();
+//! let netlist = map_to_cells(&ripple_adder(8), &lib)?;
+//! let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
+//! let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(1))?;
+//! let (_, timing) = timer.analyze_critical_path(&design).expect("paths exist");
+//! println!("+3σ = {:.1} ps", timing.quantiles[SigmaLevel::PlusThree] * 1e12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nsigma_baselines as baselines;
+pub use nsigma_cells as cells;
+pub use nsigma_core as core;
+pub use nsigma_interconnect as interconnect;
+pub use nsigma_mc as mc;
+pub use nsigma_netlist as netlist;
+pub use nsigma_process as process;
+pub use nsigma_stats as stats;

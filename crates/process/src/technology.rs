@@ -1,0 +1,179 @@
+//! Synthetic 28 nm-class technology description.
+//!
+//! The paper characterizes its models on a proprietary TSMC 28 nm PDK. That
+//! PDK is not redistributable, so this module defines a *synthetic*
+//! technology whose parameters are chosen to land in the same regime:
+//! near-threshold operation at 0.6 V, tens-of-picosecond gate delays,
+//! kilo-ohm-per-millimeter wires and Pelgrom-law mismatch that produces
+//! 15–25 % delay variability per minimum device. All delay *shapes* the
+//! paper relies on (right skew, heavy tails, √-stack averaging) follow from
+//! these physics, not from the specific PDK numbers.
+
+/// Physical and electrical constants of the synthetic technology.
+///
+/// All values are SI: volts, amps, ohms, farads, meters, seconds.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_process::Technology;
+///
+/// let tech = Technology::synthetic_28nm();
+/// assert_eq!(tech.vdd, 0.6);
+/// let low = tech.with_vdd(0.5);
+/// assert_eq!(low.vdd, 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: String,
+    /// Supply voltage (V). The paper's evaluation point is 0.6 V.
+    pub vdd: f64,
+    /// Temperature (K); 298.15 K = 25 °C as in the paper.
+    pub temperature: f64,
+    /// Nominal NMOS threshold voltage (V).
+    pub vth0: f64,
+    /// Subthreshold slope factor n (dimensionless, 1.0–1.6).
+    pub slope_factor: f64,
+    /// Pelgrom mismatch coefficient A_vt (V·m): σ(ΔV_th) = A_vt / √(W·L).
+    pub avt: f64,
+    /// Global (die-to-die) V_th standard deviation (V).
+    pub global_vth_sigma: f64,
+    /// Global mobility/current-factor relative sigma (unitless).
+    pub global_mobility_sigma: f64,
+    /// Specific current per unit W/L ratio (A): I_spec = i_spec · W/L.
+    pub i_spec: f64,
+    /// Reference transistor width of a 1× device (m).
+    pub unit_width: f64,
+    /// Channel length (m).
+    pub length: f64,
+    /// Gate capacitance per unit width (F/m) — sets input pin caps.
+    pub cgate_per_width: f64,
+    /// Drain junction/parasitic capacitance per unit width (F/m).
+    pub cdrain_per_width: f64,
+    /// Wire resistance per length (Ω/m) at nominal corner.
+    pub wire_res_per_m: f64,
+    /// Wire capacitance per length (F/m) at nominal corner.
+    pub wire_cap_per_m: f64,
+    /// Global (corner) relative sigma of wire resistance.
+    pub wire_res_global_sigma: f64,
+    /// Global (corner) relative sigma of wire capacitance.
+    pub wire_cap_global_sigma: f64,
+    /// Local (segment-to-segment) relative sigma of wire R and C.
+    pub wire_local_sigma: f64,
+}
+
+impl Technology {
+    /// The synthetic 28 nm-class technology at the paper's operating point
+    /// (0.6 V, 25 °C).
+    pub fn synthetic_28nm() -> Self {
+        Self {
+            name: "synthetic-28nm".to_string(),
+            vdd: 0.6,
+            temperature: 298.15,
+            vth0: 0.35,
+            slope_factor: 1.4,
+            // 2.2 mV·µm expressed in V·m. Local mismatch dominates at
+            // near-threshold, which is what makes the Pelgrom √-law of the
+            // paper's eq. (5) hold for total cell variability.
+            avt: 2.2e-3 * 1e-6,
+            global_vth_sigma: 0.011,
+            global_mobility_sigma: 0.03,
+            // Tuned so an x1 inverter drives ~20 µA at 0.6 V.
+            i_spec: 2.4e-6,
+            unit_width: 0.2e-6,
+            length: 0.03e-6,
+            // ~1 fF/µm of gate, ~0.5 fF/µm drain parasitic.
+            cgate_per_width: 1.0e-9,
+            cdrain_per_width: 0.5e-9,
+            // BEOL-like: 4 Ω/µm, 0.2 fF/µm.
+            wire_res_per_m: 4.0e6,
+            wire_cap_per_m: 0.2e-9,
+            wire_res_global_sigma: 0.06,
+            wire_cap_global_sigma: 0.05,
+            wire_local_sigma: 0.03,
+        }
+    }
+
+    /// Same technology at a different supply voltage (for the Fig. 2 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    pub fn with_vdd(&self, vdd: f64) -> Self {
+        assert!(vdd > 0.0, "vdd must be positive, got {vdd}");
+        Self {
+            vdd,
+            ..self.clone()
+        }
+    }
+
+    /// Thermal voltage kT/q at the technology temperature (V).
+    pub fn thermal_voltage(&self) -> f64 {
+        const K_OVER_Q: f64 = 8.617_333_262e-5; // V/K
+        K_OVER_Q * self.temperature
+    }
+
+    /// Local V_th mismatch sigma for a device of the given width multiple
+    /// (Pelgrom's law: `A_vt / √(W·L)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_multiple` is not positive.
+    pub fn local_vth_sigma(&self, width_multiple: f64) -> f64 {
+        assert!(width_multiple > 0.0, "width multiple must be positive");
+        let w = self.unit_width * width_multiple;
+        self.avt / (w * self.length).sqrt()
+    }
+
+    /// Input (gate) capacitance of a device of the given width multiple (F).
+    pub fn gate_cap(&self, width_multiple: f64) -> f64 {
+        self.cgate_per_width * self.unit_width * width_multiple
+    }
+
+    /// Drain parasitic capacitance of a device of the given width multiple (F).
+    pub fn drain_cap(&self, width_multiple: f64) -> f64 {
+        self.cdrain_per_width * self.unit_width * width_multiple
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::synthetic_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_near_threshold() {
+        let t = Technology::synthetic_28nm();
+        assert!(t.vdd < t.vth0 * 2.0, "0.6 V should be near-threshold");
+        assert!((t.thermal_voltage() - 0.0257).abs() < 0.001);
+    }
+
+    #[test]
+    fn pelgrom_scaling() {
+        let t = Technology::synthetic_28nm();
+        let s1 = t.local_vth_sigma(1.0);
+        let s4 = t.local_vth_sigma(4.0);
+        assert!((s1 / s4 - 2.0).abs() < 1e-12, "σ halves for 4x width");
+        // Minimum device lands in the tens-of-mV regime.
+        assert!(s1 > 0.01 && s1 < 0.05, "σ_vth(x1) = {s1}");
+    }
+
+    #[test]
+    fn caps_scale_linearly_with_width() {
+        let t = Technology::synthetic_28nm();
+        assert!((t.gate_cap(4.0) - 4.0 * t.gate_cap(1.0)).abs() < 1e-30);
+        assert!(t.gate_cap(1.0) > 0.05e-15 && t.gate_cap(1.0) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must be positive")]
+    fn with_vdd_validates() {
+        Technology::synthetic_28nm().with_vdd(0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Gridded lookup tables with bilinear interpolation.
+//!
+//! Standard-cell characterization (like the Liberty NLDM tables this project
+//! mimics) stores delay data on a (input-slew × output-load) grid and
+//! interpolates between grid points. [`Grid2d`] provides exactly that, with
+//! clamped extrapolation at the grid edges — the same convention sign-off
+//! timers use.
+
+/// A rectangular lookup table over two axes with bilinear interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_stats::interp::Grid2d;
+///
+/// // z = x + 10y on a 2x2 grid: bilinear interpolation is exact.
+/// let g = Grid2d::new(
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0],
+///     vec![0.0, 10.0, 1.0, 11.0],
+/// )?;
+/// assert!((g.eval(0.5, 0.5) - 5.5).abs() < 1e-12);
+/// # Ok::<(), nsigma_stats::interp::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Row-major: `values[i * ys.len() + j]` is the value at `(xs[i], ys[j])`.
+    values: Vec<f64>,
+}
+
+/// Error constructing a [`Grid2d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// An axis is empty.
+    EmptyAxis,
+    /// An axis is not strictly increasing.
+    NotIncreasing,
+    /// `values.len() != xs.len() * ys.len()`.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptyAxis => write!(f, "grid axis is empty"),
+            GridError::NotIncreasing => write!(f, "grid axis is not strictly increasing"),
+            GridError::ShapeMismatch => write!(f, "values length does not match axes"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl Grid2d {
+    /// Builds a grid from axes and row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GridError`] if an axis is empty or non-increasing or the
+    /// value count disagrees with the axes.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, values: Vec<f64>) -> Result<Self, GridError> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(GridError::EmptyAxis);
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) || ys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GridError::NotIncreasing);
+        }
+        if values.len() != xs.len() * ys.len() {
+            return Err(GridError::ShapeMismatch);
+        }
+        Ok(Self { xs, ys, values })
+    }
+
+    /// Builds a grid by evaluating `f` at every grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid axes (see [`Grid2d::new`] errors).
+    pub fn from_fn(xs: Vec<f64>, ys: Vec<f64>, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let mut values = Vec::with_capacity(xs.len() * ys.len());
+        for &x in &xs {
+            for &y in &ys {
+                values.push(f(x, y));
+            }
+        }
+        Self::new(xs, ys, values).expect("axes validated by construction")
+    }
+
+    /// The x axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y axis.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Raw row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value stored at grid indices `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.ys.len() + j]
+    }
+
+    /// Bilinear interpolation with clamped extrapolation.
+    ///
+    /// Queries outside the grid are clamped to the edge — the convention used
+    /// by Liberty table lookups for out-of-characterization operating points.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let (i0, i1, tx) = bracket(&self.xs, x);
+        let (j0, j1, ty) = bracket(&self.ys, y);
+        let v00 = self.at(i0, j0);
+        let v01 = self.at(i0, j1);
+        let v10 = self.at(i1, j0);
+        let v11 = self.at(i1, j1);
+        let a = v00 + (v01 - v00) * ty;
+        let b = v10 + (v11 - v10) * ty;
+        a + (b - a) * tx
+    }
+}
+
+/// Finds the bracketing indices and interpolation fraction for `x` on `axis`,
+/// clamping outside the range.
+fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    let n = axis.len();
+    if n == 1 || x <= axis[0] {
+        return (0, 0, 0.0);
+    }
+    if x >= axis[n - 1] {
+        return (n - 1, n - 1, 0.0);
+    }
+    // Binary search for the interval.
+    let mut lo = 0;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if axis[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
+    (lo, hi, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_grid_points() {
+        let g = Grid2d::from_fn(vec![0.0, 1.0, 3.0], vec![0.0, 2.0], |x, y| x * 7.0 + y);
+        assert_eq!(g.eval(1.0, 2.0), 9.0);
+        assert_eq!(g.eval(3.0, 0.0), 21.0);
+        assert_eq!(g.at(2, 1), 23.0);
+    }
+
+    #[test]
+    fn bilinear_exact_for_bilinear_function() {
+        let f = |x: f64, y: f64| 2.0 + 3.0 * x - y + 0.5 * x * y;
+        let g = Grid2d::from_fn(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 4.0], f);
+        for &(x, y) in &[(0.5, 0.5), (1.5, 2.0), (0.2, 3.9)] {
+            assert!((g.eval(x, y) - f(x, y)).abs() < 1e-12, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn clamped_extrapolation() {
+        let g = Grid2d::from_fn(vec![0.0, 1.0], vec![0.0, 1.0], |x, y| x + y);
+        assert_eq!(g.eval(-5.0, 0.5), g.eval(0.0, 0.5));
+        assert_eq!(g.eval(9.0, 0.5), g.eval(1.0, 0.5));
+        assert_eq!(g.eval(0.5, -1.0), g.eval(0.5, 0.0));
+        assert_eq!(g.eval(0.5, 2.0), g.eval(0.5, 1.0));
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert_eq!(
+            Grid2d::new(vec![], vec![1.0], vec![]),
+            Err(GridError::EmptyAxis)
+        );
+        assert_eq!(
+            Grid2d::new(vec![1.0, 1.0], vec![0.0], vec![0.0, 0.0]),
+            Err(GridError::NotIncreasing)
+        );
+        assert_eq!(
+            Grid2d::new(vec![0.0, 1.0], vec![0.0], vec![0.0]),
+            Err(GridError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn single_point_axis_acts_constant() {
+        let g = Grid2d::new(vec![5.0], vec![1.0, 2.0], vec![10.0, 20.0]).unwrap();
+        assert_eq!(g.eval(0.0, 1.5), 15.0);
+        assert_eq!(g.eval(100.0, 1.5), 15.0);
+    }
+}

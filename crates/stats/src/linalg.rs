@@ -1,0 +1,397 @@
+//! Small dense linear algebra: just enough for least-squares fitting.
+//!
+//! The matrices involved in the N-sigma model regressions are tiny (at most a
+//! few dozen columns), so a straightforward row-major dense [`Matrix`] with
+//! Cholesky and partially-pivoted LU solvers is both simple and fast.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use nsigma_stats::linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Gram matrix `selfᵀ · self` (used in normal equations).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by the linear solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or not positive definite for Cholesky) to
+    /// working precision.
+    Singular,
+    /// Dimensions of the system are inconsistent.
+    DimensionMismatch,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::DimensionMismatch => write!(f, "inconsistent system dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the symmetric positive-definite system `A x = b` by Cholesky
+/// decomposition.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Singular`] if `A` is not positive definite, and
+/// [`SolveError::DimensionMismatch`] if shapes disagree.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    // Lower-triangular factor L with A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(SolveError::Singular);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves the general square system `A x = b` by LU decomposition with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Singular`] if a pivot underflows, and
+/// [`SolveError::DimensionMismatch`] if shapes disagree.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut lu = a.data.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Pivot selection
+        let mut pivot = col;
+        let mut max = lu[perm[col] * n + col].abs();
+        for row in (col + 1)..n {
+            let v = lu[perm[row] * n + col].abs();
+            if v > max {
+                max = v;
+                pivot = row;
+            }
+        }
+        if max < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        perm.swap(col, pivot);
+        let p = perm[col];
+        let diag = lu[p * n + col];
+        for row in (col + 1)..n {
+            let r = perm[row];
+            let factor = lu[r * n + col] / diag;
+            lu[r * n + col] = factor;
+            for j in (col + 1)..n {
+                lu[r * n + j] -= factor * lu[p * n + j];
+            }
+        }
+    }
+
+    // Forward substitution with permutation
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let r = perm[i];
+        let mut sum = b[r];
+        for k in 0..i {
+            sum -= lu[r * n + k] * y[k];
+        }
+        y[i] = sum;
+    }
+    // Back substitution
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let r = perm[i];
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= lu[r * n + k] * x[k];
+        }
+        x[i] = sum / lu[r * n + i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = cholesky_solve(&a, &[2.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky_solve(&a, &[1.0, 1.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn lu_solves_general() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ]);
+        let b = [-8.0, 0.0, 3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - g2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = a.matvec(&[1.0, 1.0]);
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Library characterization walkthrough: run the paper's Fig. 5 flow for a
+//! single cell, inspect the moment surfaces, fit the operating-condition
+//! calibration (eqs. 1–3) and persist/reload the full coefficient file.
+//!
+//! Run with: `cargo run --release -p nsigma --example characterize_library`
+
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::CellLibrary;
+use nsigma_core::calibration::{MomentCalibration, C_REF, S_REF};
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{read_coefficients, write_coefficients};
+use nsigma_process::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::synthetic_28nm();
+    let cell = Cell::new(CellKind::Nand2, 2);
+
+    // Characterize NAND2x2 over the standard slew × load grid.
+    println!("characterizing {} (5k MC samples per grid point)...", cell.name());
+    let grid = characterize_cell(&tech, &cell, &CharacterizeConfig::standard(5000, 11));
+
+    println!("\nmoments across the grid (rows: slew, cols: load):");
+    for p in grid.iter().take(6) {
+        println!(
+            "  S={:5.0} ps C={:4.1} fF -> mu={:6.1} ps sigma={:5.1} ps gamma={:+.2} kappa={:.2}",
+            p.slew * 1e12,
+            p.load * 1e15,
+            p.moments.mean * 1e12,
+            p.moments.std * 1e12,
+            p.moments.skewness,
+            p.moments.kurtosis
+        );
+    }
+
+    // Fit the eq. (1)–(3) calibration and query an off-grid point.
+    let cal = MomentCalibration::fit(&grid, S_REF, C_REF)?;
+    let m = cal.moments_at(75e-12, 1.4e-15);
+    println!(
+        "\ncalibrated moments at (75 ps, 1.4 fF): mu={:.1} ps sigma={:.1} ps gamma={:+.2} kappa={:.2}",
+        m.mean * 1e12,
+        m.std * 1e12,
+        m.skewness,
+        m.kurtosis
+    );
+
+    // Build a small timer and round-trip its coefficient file — the LUT of
+    // the paper's Fig. 5.
+    let mut lib = CellLibrary::new();
+    for s in [1, 2, 4] {
+        lib.add(Cell::new(CellKind::Inv, s));
+        lib.add(Cell::new(CellKind::Nand2, s));
+    }
+    let mut cfg = TimerConfig::standard(3);
+    cfg.char_samples = 2000;
+    cfg.wire.samples = 1000;
+    println!("\nbuilding a timer for {} cells and writing coefficients...", lib.len());
+    let timer = NsigmaTimer::build(&tech, &lib, &cfg)?;
+    let text = write_coefficients(&timer);
+    println!("coefficient file: {} lines, {} bytes", text.lines().count(), text.len());
+
+    let restored = read_coefficients(&tech, &text)?;
+    println!(
+        "reloaded timer knows {} cells; INVx1 reference mu = {:.1} ps",
+        restored.calibrations().len(),
+        restored.calibrations()["INVx1"].reference.mean * 1e12
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! ISCAS85-style benchmark timing: generate the c432-class circuit, compare
+//! the N-sigma timer against golden Monte Carlo and a corner analysis —
+//! a miniature of the paper's Table III row.
+//!
+//! Run with: `cargo run --release -p nsigma --example iscas_timing`
+
+use nsigma_baselines::corner::CornerSta;
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_netlist::topo;
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+
+    // The c432-sized synthetic benchmark (matched to the paper's cell count).
+    let logic = Iscas85::C432.generate();
+    let netlist = map_to_cells(&logic, &lib)?;
+    println!(
+        "c432: {} mapped gates, {} nets, depth {}",
+        netlist.num_gates(),
+        netlist.num_nets(),
+        topo::depth(&netlist)
+    );
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 0xC432);
+
+    println!("building N-sigma timer over the full standard library...");
+    let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(5))?;
+
+    let path = find_critical_path(&design).expect("critical path");
+    println!("critical path: {} stages", path.len());
+
+    let model = timer.analyze_path(&design, &path);
+    let golden = simulate_path_mc(&design, &path, &PathMcConfig::paper(0xC0FFEE));
+    let corner = CornerSta::signoff().analyze_path(&design, &path);
+
+    println!("\n                 -3σ (ps)   +3σ (ps)");
+    println!(
+        "golden MC       {:9.1}  {:9.1}",
+        golden.quantiles[SigmaLevel::MinusThree] * 1e12,
+        golden.quantiles[SigmaLevel::PlusThree] * 1e12
+    );
+    println!(
+        "N-sigma (ours)  {:9.1}  {:9.1}",
+        model.quantiles[SigmaLevel::MinusThree] * 1e12,
+        model.quantiles[SigmaLevel::PlusThree] * 1e12
+    );
+    println!(
+        "corner (PT)     {:9.1}  {:9.1}   <- stacked-3σ pessimism",
+        corner.early * 1e12,
+        corner.late * 1e12
+    );
+
+    let err = |a: f64, b: f64| (a - b) / b * 100.0;
+    println!(
+        "\nours vs golden: -3σ {:+.1}%, +3σ {:+.1}%;  corner late vs golden +3σ: {:+.1}%",
+        err(
+            model.quantiles[SigmaLevel::MinusThree],
+            golden.quantiles[SigmaLevel::MinusThree]
+        ),
+        err(
+            model.quantiles[SigmaLevel::PlusThree],
+            golden.quantiles[SigmaLevel::PlusThree]
+        ),
+        err(corner.late, golden.quantiles[SigmaLevel::PlusThree])
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a design, build the N-sigma timer, and read the
+//! sign-off quantiles of its critical path — then check them against golden
+//! Monte Carlo.
+//!
+//! Run with: `cargo run --release -p nsigma --example quickstart`
+
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::{simulate_path_mc, PathMcConfig};
+use nsigma_netlist::generators::arith::ripple_adder;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic 28 nm-class technology at the paper's 0.6 V point.
+    let tech = Technology::synthetic_28nm();
+
+    // 2. A library restricted to what the adder uses (fast characterization).
+    let mut lib = CellLibrary::new();
+    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for s in [1, 2, 4, 8] {
+            lib.add(Cell::new(kind, s));
+        }
+    }
+
+    // 3. A 16-bit ripple-carry adder mapped onto the library, with generated
+    //    parasitics (the place-and-route substitute).
+    let netlist = map_to_cells(&ripple_adder(16), &lib)?;
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 42);
+    println!(
+        "design: {} gates, {} nets",
+        design.netlist.num_gates(),
+        design.netlist.num_nets()
+    );
+
+    // 4. Build the N-sigma timer: characterizes every cell, fits the Table I
+    //    coefficients, calibrates the wire model. One-time cost.
+    println!("building N-sigma timer (characterization + calibration)...");
+    let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(7))?;
+
+    // 5. Analyze the critical path — instantaneous, no Monte Carlo.
+    let (path, timing) = timer
+        .analyze_critical_path(&design)
+        .expect("non-empty design");
+    println!("\ncritical path: {} stages", path.len());
+    for lvl in SigmaLevel::ALL {
+        println!("  T_path({lvl}) = {:8.1} ps", timing.quantiles[lvl] * 1e12);
+    }
+
+    // 6. Check against the golden Monte Carlo (the SPICE substitute).
+    println!("\nrunning 3000-sample golden MC for comparison...");
+    let golden = simulate_path_mc(
+        &design,
+        &path,
+        &PathMcConfig {
+            samples: 3000,
+            seed: 1,
+            input_slew: 10e-12,
+        },
+    );
+    for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+        let err = (timing.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl] * 100.0;
+        println!(
+            "  {lvl}: model {:8.1} ps vs golden {:8.1} ps ({err:+.1}%)",
+            timing.quantiles[lvl] * 1e12,
+            golden.quantiles[lvl] * 1e12
+        );
+    }
+    println!(
+        "\ngolden MC took {:.2?}; the model answered from its coefficient tables.",
+        golden.elapsed
+    );
+    Ok(())
+}

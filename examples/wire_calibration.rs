@@ -1,0 +1,84 @@
+//! Wire-model walkthrough: calibrate the eq. (5)–(9) wire variability model,
+//! inspect the fitted coefficients and check one net against golden
+//! transient Monte Carlo.
+//!
+//! Run with: `cargo run --release -p nsigma --example wire_calibration`
+
+use nsigma_cells::cell::{Cell, CellKind};
+use nsigma_core::wire_model::{
+    cell_coefficient, WireCalibConfig, WireVariabilityModel,
+};
+use nsigma_interconnect::generator::random_net;
+use nsigma_mc::wire_sim::{WireGoldenMode, WireMcConfig};
+use nsigma_process::Technology;
+use nsigma_stats::quantile::SigmaLevel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::synthetic_28nm();
+
+    // The eq. (5) cell-specific coefficients, normalized to INVx4.
+    println!("cell-specific coefficients (eq. 5, theory):");
+    for (kind, s) in [
+        (CellKind::Inv, 1),
+        (CellKind::Inv, 4),
+        (CellKind::Inv, 8),
+        (CellKind::Nand2, 2),
+        (CellKind::Aoi21, 4),
+    ] {
+        let cell = Cell::new(kind, s);
+        println!("  X({}) = {:.3}", cell.name(), cell_coefficient(&cell));
+    }
+
+    // Calibrate over the five RC example circuits.
+    println!("\ncalibrating the wire variability model (5 nets x 4x4 strengths)...");
+    let model = WireVariabilityModel::calibrate(&tech, &WireCalibConfig::standard(17))?;
+    println!("  sigma/mu of the FO4 baseline: {:.4}", model.r_fo4());
+    let weak = model.predict_xw(&Cell::new(CellKind::Inv, 1), &Cell::new(CellKind::Inv, 4));
+    let strong = model.predict_xw(&Cell::new(CellKind::Inv, 8), &Cell::new(CellKind::Inv, 4));
+    println!("  X_w with weak INVx1 driver: {weak:.4}; with strong INVx8 driver: {strong:.4}");
+
+    // Check a net against the transient golden.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let tree = random_net(&mut rng, 1);
+    let driver = Cell::new(CellKind::Inv, 2);
+    let load = Cell::new(CellKind::Inv, 4);
+    println!(
+        "\nchecking a random net ({} nodes, R = {:.0} ohm, C = {:.2} fF) against 4000 transient samples...",
+        tree.len(),
+        tree.total_res(),
+        tree.total_cap() * 1e15
+    );
+    let check = model.check_against_golden(
+        &tech,
+        &tree,
+        &driver,
+        &load,
+        &WireMcConfig {
+            samples: 4000,
+            seed: 5,
+            input_slew: 10e-12,
+            mode: WireGoldenMode::Transient,
+        },
+    );
+    println!(
+        "  golden:    -3σ {:6.2} ps, median {:6.2} ps, +3σ {:6.2} ps",
+        check.golden[SigmaLevel::MinusThree] * 1e12,
+        check.golden[SigmaLevel::Zero] * 1e12,
+        check.golden[SigmaLevel::PlusThree] * 1e12
+    );
+    println!(
+        "  model:     -3σ {:6.2} ps, median {:6.2} ps, +3σ {:6.2} ps",
+        check.predicted[SigmaLevel::MinusThree] * 1e12,
+        check.predicted[SigmaLevel::Zero] * 1e12,
+        check.predicted[SigmaLevel::PlusThree] * 1e12
+    );
+    println!(
+        "  errors:    -3σ {:.2}%, +3σ {:.2}% (plain Elmore would sit at {:.2} ps flat)",
+        check.minus3_err_pct,
+        check.plus3_err_pct,
+        check.elmore * 1e12
+    );
+    Ok(())
+}

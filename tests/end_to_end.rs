@@ -1,0 +1,132 @@
+//! End-to-end integration: the complete paper flow from netlist to verified
+//! sigma-level path quantiles, exercised through the public facade API.
+
+use nsigma::baselines::corner::CornerSta;
+use nsigma::cells::cell::{Cell, CellKind};
+use nsigma::cells::CellLibrary;
+use nsigma::core::sta::{NsigmaTimer, TimerConfig};
+use nsigma::core::{read_coefficients, write_coefficients};
+use nsigma::mc::design::Design;
+use nsigma::mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+use nsigma::netlist::generators::arith::{ripple_adder, ripple_subtractor};
+use nsigma::netlist::mapping::map_to_cells;
+use nsigma::process::Technology;
+use nsigma::stats::quantile::SigmaLevel;
+
+fn small_lib() -> CellLibrary {
+    let mut lib = CellLibrary::new();
+    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for s in [1, 2, 4, 8] {
+            lib.add(Cell::new(kind, s));
+        }
+    }
+    lib
+}
+
+fn quick_timer(tech: &Technology, lib: &CellLibrary, seed: u64) -> NsigmaTimer {
+    let mut cfg = TimerConfig::standard(seed);
+    cfg.char_samples = 1500;
+    cfg.wire.nets = 2;
+    cfg.wire.samples = 800;
+    NsigmaTimer::build(tech, lib, &cfg).expect("timer builds")
+}
+
+#[test]
+fn full_flow_model_tracks_golden_on_both_tails() {
+    let tech = Technology::synthetic_28nm();
+    let lib = small_lib();
+    let netlist = map_to_cells(&ripple_adder(8), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 11);
+    let timer = quick_timer(&tech, &lib, 21);
+
+    let path = find_critical_path(&design).expect("path");
+    let model = timer.analyze_path(&design, &path);
+    let golden = simulate_path_mc(
+        &design,
+        &path,
+        &PathMcConfig {
+            samples: 3000,
+            seed: 2,
+            input_slew: 10e-12,
+        },
+    );
+
+    for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+        let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl]).abs();
+        assert!(
+            rel < 0.18,
+            "{lvl}: model {:.1} ps vs golden {:.1} ps",
+            model.quantiles[lvl] * 1e12,
+            golden.quantiles[lvl] * 1e12
+        );
+    }
+}
+
+#[test]
+fn model_beats_the_corner_flow_at_plus_three_sigma() {
+    let tech = Technology::synthetic_28nm();
+    let lib = small_lib();
+    let netlist = map_to_cells(&ripple_subtractor(8), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 5);
+    let timer = quick_timer(&tech, &lib, 31);
+
+    let path = find_critical_path(&design).expect("path");
+    let model = timer.analyze_path(&design, &path);
+    let corner = CornerSta::signoff().analyze_path(&design, &path);
+    let golden = simulate_path_mc(
+        &design,
+        &path,
+        &PathMcConfig {
+            samples: 2500,
+            seed: 3,
+            input_slew: 10e-12,
+        },
+    );
+
+    let g3 = golden.quantiles[SigmaLevel::PlusThree];
+    let model_err = ((model.quantiles[SigmaLevel::PlusThree] - g3) / g3).abs();
+    let corner_err = ((corner.late - g3) / g3).abs();
+    assert!(
+        model_err < corner_err,
+        "Table III ordering: ours {:.1}% must beat PT {:.1}%",
+        model_err * 100.0,
+        corner_err * 100.0
+    );
+}
+
+#[test]
+fn coefficients_file_round_trips_through_analysis() {
+    let tech = Technology::synthetic_28nm();
+    let lib = small_lib();
+    let netlist = map_to_cells(&ripple_adder(6), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 9);
+    let timer = quick_timer(&tech, &lib, 41);
+
+    let text = write_coefficients(&timer);
+    let restored = read_coefficients(&tech, &text).expect("parse back");
+
+    let path = find_critical_path(&design).expect("path");
+    let a = timer.analyze_path(&design, &path);
+    let b = restored.analyze_path(&design, &path);
+    for lvl in SigmaLevel::ALL {
+        let rel = ((a.quantiles[lvl] - b.quantiles[lvl]) / a.quantiles[lvl]).abs();
+        assert!(rel < 1e-9, "{lvl} drifted through serialization: {rel}");
+    }
+}
+
+#[test]
+fn design_level_analysis_is_pessimistic_but_ordered() {
+    let tech = Technology::synthetic_28nm();
+    let lib = small_lib();
+    let netlist = map_to_cells(&ripple_adder(8), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 13);
+    let timer = quick_timer(&tech, &lib, 51);
+
+    let (_, path_timing) = timer.analyze_critical_path(&design).expect("path");
+    let worst = timer.analyze_design(&design);
+    assert!(worst.is_monotone());
+    assert!(
+        worst[SigmaLevel::PlusThree] >= path_timing.quantiles[SigmaLevel::PlusThree] * 0.999,
+        "block-based max-merge bounds the single-path estimate"
+    );
+}

@@ -1,0 +1,333 @@
+//! Property-based tests (proptest) on the core invariants of the workspace:
+//! quantile monotonicity, Elmore additivity, moment stability, parser
+//! round-trips and model scale-invariance under randomized inputs.
+
+use nsigma::cells::cell::{Cell, CellKind};
+use nsigma::cells::timing::{evaluate_arc, nominal_arc};
+use nsigma::interconnect::elmore::{elmore_all, moments_all};
+use nsigma::interconnect::metrics::{d2m_delay, two_pole_delay};
+use nsigma::interconnect::rctree::RcTree;
+use nsigma::interconnect::spef::{parse as parse_spef, write as write_spef, SpefNet};
+use nsigma::process::Technology;
+use nsigma::stats::moments::{Moments, RunningMoments};
+use nsigma::stats::quantile::{quantile_sorted, QuantileSet, SigmaLevel};
+use nsigma::stats::special::{norm_cdf, norm_quantile};
+use proptest::prelude::*;
+
+/// Strategy: a random RC tree of 2–20 nodes with positive elements.
+fn rc_tree_strategy() -> impl Strategy<Value = RcTree> {
+    (
+        proptest::collection::vec((0usize..100, 10.0f64..2000.0, 0.01e-15..1.0e-15), 1..20),
+        0.001e-15..0.2e-15,
+    )
+        .prop_map(|(nodes, root_cap)| {
+            let mut tree = RcTree::new(root_cap);
+            let mut ids = vec![RcTree::root()];
+            for (parent_pick, res, cap) in nodes {
+                let parent = ids[parent_pick % ids.len()];
+                ids.push(tree.add_node(parent, res, cap));
+            }
+            let last = *ids.last().expect("at least the root");
+            if last != RcTree::root() {
+                tree.mark_sink(last);
+            } else {
+                let extra = tree.add_node(RcTree::root(), 100.0, 0.1e-15);
+                tree.mark_sink(extra);
+            }
+            tree
+        })
+}
+
+proptest! {
+    #[test]
+    fn norm_quantile_is_inverse_of_cdf(p in 1e-6f64..0.999999) {
+        let z = norm_quantile(p);
+        prop_assert!((norm_cdf(z) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn norm_quantile_is_monotone(a in 1e-6f64..0.999998, d in 1e-6f64..0.5) {
+        let b = (a + d).min(0.999999);
+        prop_assert!(norm_quantile(b) >= norm_quantile(a));
+    }
+
+    #[test]
+    fn empirical_quantiles_are_monotone_and_bounded(
+        mut xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let q_lo = quantile_sorted(&xs, lo);
+        let q_hi = quantile_sorted(&xs, hi);
+        prop_assert!(q_lo <= q_hi);
+        prop_assert!(q_lo >= xs[0] && q_hi <= xs[xs.len() - 1]);
+    }
+
+    #[test]
+    fn running_moments_match_batch(xs in proptest::collection::vec(-1e2f64..1e2, 4..200)) {
+        let batch = Moments::from_samples(&xs);
+        let online: RunningMoments = xs.iter().copied().collect();
+        let m = online.moments();
+        prop_assert!((batch.mean - m.mean).abs() <= 1e-9 * (1.0 + batch.mean.abs()));
+        prop_assert!((batch.std - m.std).abs() <= 1e-9 * (1.0 + batch.std));
+    }
+
+    #[test]
+    fn running_moments_merge_is_associative(
+        xs in proptest::collection::vec(-50.0f64..50.0, 6..120),
+        split in 1usize..5,
+    ) {
+        let k = (xs.len() / split.max(1)).max(1);
+        let mut merged = RunningMoments::new();
+        for chunk in xs.chunks(k) {
+            let part: RunningMoments = chunk.iter().copied().collect();
+            merged.merge(&part);
+        }
+        let whole: RunningMoments = xs.iter().copied().collect();
+        let a = merged.moments();
+        let b = whole.moments();
+        prop_assert!((a.mean - b.mean).abs() < 1e-8 * (1.0 + b.mean.abs()));
+        prop_assert!((a.kurtosis - b.kurtosis).abs() < 1e-6 * (1.0 + b.kurtosis.abs()));
+    }
+
+    #[test]
+    fn quantile_set_from_samples_is_monotone(
+        xs in proptest::collection::vec(0.0f64..1e3, 8..400)
+    ) {
+        let q = QuantileSet::from_samples(&xs);
+        prop_assert!(q.is_monotone());
+    }
+
+    #[test]
+    fn elmore_is_positive_and_additive_in_caps(tree in rc_tree_strategy()) {
+        let sink = tree.sinks()[0];
+        let base = elmore_all(&tree)[sink.index()];
+        prop_assert!(base > 0.0);
+
+        // Adding cap at the sink strictly increases its Elmore delay.
+        let mut bigger = tree.clone();
+        bigger.add_cap(sink, 1e-15);
+        let grown = elmore_all(&bigger)[sink.index()];
+        prop_assert!(grown > base);
+
+        // Scaling all R and C by k scales Elmore by k².
+        let scaled = tree.scaled_with(|_, r| r * 2.0, |_, c| c * 2.0);
+        let quad = elmore_all(&scaled)[sink.index()];
+        prop_assert!((quad / base - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_metrics_are_ordered(tree in rc_tree_strategy()) {
+        let sink = tree.sinks()[0];
+        let (m1s, m2s) = moments_all(&tree);
+        let m1 = m1s[sink.index()];
+        let m2 = m2s[sink.index()];
+        prop_assert!(m1 > 0.0 && m2 > 0.0);
+        let d2m = d2m_delay(m1, m2);
+        let tp = two_pole_delay(m1, m2);
+        let ln2m1 = core::f64::consts::LN_2 * m1;
+        // The two-pole estimate lives between the optimistic single-pole
+        // value and the pessimistic Elmore bound; D2M shares the upper
+        // bound but is known to undershoot ln2·m1 at sinks shadowed by
+        // heavy side branches (m2 > m1²).
+        prop_assert!(d2m > 0.0 && d2m <= m1 * 1.001);
+        prop_assert!(tp >= ln2m1 * 0.999 && tp <= m1 * 1.001);
+    }
+
+    #[test]
+    fn spef_round_trip_is_lossless(tree in rc_tree_strategy()) {
+        let nets = vec![SpefNet { name: "n".into(), tree }];
+        let text = write_spef(&nets);
+        let parsed = parse_spef(&text).unwrap();
+        prop_assert_eq!(parsed, nets);
+    }
+
+    #[test]
+    fn cell_delay_is_monotone_in_conditions(
+        slew in 1e-12f64..300e-12,
+        load in 0.05e-15f64..6e-15,
+        extra_slew in 1e-12f64..100e-12,
+        extra_load in 0.05e-15f64..2e-15,
+    ) {
+        let tech = Technology::synthetic_28nm();
+        let cell = Cell::new(CellKind::Nand2, 2);
+        let base = nominal_arc(&tech, &cell, slew, load).delay;
+        prop_assert!(base > 0.0);
+        prop_assert!(nominal_arc(&tech, &cell, slew + extra_slew, load).delay > base);
+        prop_assert!(nominal_arc(&tech, &cell, slew, load + extra_load).delay > base);
+    }
+
+    #[test]
+    fn higher_threshold_never_speeds_a_cell_up(
+        dvth in -0.05f64..0.05,
+        extra in 0.001f64..0.05,
+    ) {
+        let tech = Technology::synthetic_28nm();
+        let cell = Cell::new(CellKind::Inv, 1);
+        let slow = evaluate_arc(&tech, &cell, 10e-12, 1e-15, dvth + extra, 1.0).delay;
+        let fast = evaluate_arc(&tech, &cell, 10e-12, 1e-15, dvth, 1.0).delay;
+        prop_assert!(slow >= fast);
+    }
+
+    #[test]
+    fn sigma_levels_partition_probability(n in -3i32..=3) {
+        let lvl = SigmaLevel::from_n(n).unwrap();
+        let p = lvl.probability();
+        prop_assert!(p > 0.0 && p < 1.0);
+        // Symmetry: P(nσ) + P(−nσ) = 1.
+        let mirror = SigmaLevel::from_n(-n).unwrap();
+        prop_assert!((p + mirror.probability() - 1.0).abs() < 1e-12);
+    }
+}
+
+mod extended_properties {
+    use nsigma::core::extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
+    use nsigma::core::stat_max::{clark_max, MergeRule};
+    use nsigma::stats::moments::Moments;
+    use nsigma::stats::quantile::{QuantileSet, SigmaLevel};
+    use proptest::prelude::*;
+
+    /// Strategy: a strictly increasing, positive quantile set.
+    fn quantile_set_strategy() -> impl Strategy<Value = QuantileSet> {
+        (10.0f64..1e3, proptest::collection::vec(0.1f64..50.0, 6))
+            .prop_map(|(start, gaps)| {
+                let mut v = [0.0; 7];
+                v[0] = start;
+                for i in 1..7 {
+                    v[i] = v[i - 1] + gaps[i - 1];
+                }
+                QuantileSet::from_values(v)
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn cornish_fisher_is_gaussian_consistent(
+            mean in 1.0f64..1e3,
+            std in 0.1f64..50.0,
+            n in -6.0f64..6.0,
+        ) {
+            let m = Moments { mean, std, skewness: 0.0, kurtosis: 3.0, n: 0 };
+            let q = cornish_fisher_quantile(&m, n);
+            prop_assert!((q - (mean + std * n)).abs() < 1e-9 * (1.0 + q.abs()));
+        }
+
+        #[test]
+        fn cornish_fisher_monotone_for_mild_moments(
+            mean in 10.0f64..1e3,
+            std in 0.5f64..20.0,
+            skew in -0.4f64..0.4,
+            kurt in 3.0f64..3.8,
+        ) {
+            // The third-order CF expansion is guaranteed monotone only in
+            // a moderate (z, γ, κ) box — a documented limitation. Inside
+            // the ±3σ body with delay-like moments it is monotone; the ±6σ
+            // ladder is checked separately with its clamped construction.
+            let m = Moments { mean, std, skewness: skew, kurtosis: kurt, n: 0 };
+            let mut last = f64::NEG_INFINITY;
+            for i in -6..=6 {
+                let q = cornish_fisher_quantile(&m, i as f64 * 0.5);
+                prop_assert!(q >= last, "non-monotone at n={}", i as f64 * 0.5);
+                last = q;
+            }
+        }
+
+        #[test]
+        fn extended_ladder_is_always_monotone(
+            mean in 10.0f64..1e3,
+            std in 0.5f64..50.0,
+            skew in -1.5f64..1.5,
+            kurt in 2.0f64..9.0,
+        ) {
+            let m = Moments { mean, std, skewness: skew, kurtosis: kurt, n: 0 };
+            let ladder = extended_quantiles(&m, None);
+            prop_assert_eq!(ladder.len(), 13);
+            for w in ladder.windows(2) {
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+        }
+
+        #[test]
+        fn yield_curve_round_trips(q in quantile_set_strategy(), p in 0.001f64..0.999) {
+            let y = YieldCurve::new(&q);
+            let t = y.delay_at_yield(p);
+            prop_assert!((y.yield_at(t) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn yield_is_monotone(q in quantile_set_strategy(), t1 in 0.0f64..2e3, dt in 0.0f64..500.0) {
+            let y = YieldCurve::new(&q);
+            prop_assert!(y.yield_at(t1 + dt) >= y.yield_at(t1));
+        }
+
+        #[test]
+        fn clark_max_dominates_inputs(
+            a in quantile_set_strategy(),
+            b in quantile_set_strategy(),
+            rho in 0.0f64..1.0,
+        ) {
+            let m = clark_max(&a, &b, rho);
+            prop_assert!(m.is_monotone());
+            for lvl in SigmaLevel::ALL {
+                prop_assert!(m[lvl] >= a[lvl].max(b[lvl]) - 1e-9);
+            }
+        }
+
+        #[test]
+        fn merge_rules_agree_on_dominated_inputs(
+            a in quantile_set_strategy(),
+            shift in 500.0f64..5e3,
+        ) {
+            // When one arrival dominates completely, every rule returns it.
+            let b = a.map(|x| x + shift);
+            for rule in [MergeRule::Pessimistic, MergeRule::Clark { rho: 0.3 }] {
+                let m = rule.merge(&a, &b);
+                for lvl in SigmaLevel::ALL {
+                    prop_assert!((m[lvl] - b[lvl]).abs() < 0.02 * b[lvl]);
+                }
+            }
+        }
+    }
+}
+
+mod netlist_properties {
+    use nsigma::cells::CellLibrary;
+    use nsigma::netlist::generators::arith::ripple_adder;
+    use nsigma::netlist::generators::arith_fast::cla_adder;
+    use nsigma::netlist::mapping::map_to_cells;
+    use nsigma::netlist::sim::{evaluate_packed, };
+    use nsigma::netlist::verilog::{parse_verilog, structurally_equal, write_verilog};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn adders_agree_for_any_operands(a in 0u64..256, b in 0u64..256, cin in 0u64..2) {
+            let lib = CellLibrary::standard();
+            let ripple = map_to_cells(&ripple_adder(8), &lib).unwrap();
+            let cla = map_to_cells(&cla_adder(8), &lib).unwrap();
+            let pack = |nl: &nsigma::netlist::ir::Netlist| {
+                let out = evaluate_packed(nl, &lib, &[("cin", cin), ("a", a), ("b", b)]);
+                let mut s = 0u64;
+                for (bit, &v) in out.iter().take(9).enumerate() {
+                    if v { s |= 1 << bit; }
+                }
+                s
+            };
+            prop_assert_eq!(pack(&ripple), a + b + cin);
+            prop_assert_eq!(pack(&cla), a + b + cin);
+        }
+
+        #[test]
+        fn verilog_round_trip_random_widths(w in 2usize..10) {
+            let lib = CellLibrary::standard();
+            let original = map_to_cells(&ripple_adder(w), &lib).unwrap();
+            let text = write_verilog(&original, &lib);
+            let parsed = parse_verilog(&text, &lib).unwrap();
+            prop_assert!(structurally_equal(&original, &parsed, &lib));
+        }
+    }
+}
