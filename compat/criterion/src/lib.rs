@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `iter`/`iter_batched`, `BatchSize`) over a simple
+//! wall-clock median harness. No statistics beyond median-of-samples, no
+//! HTML reports — results print to stdout as `name ... median  (samples)`.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost relates to the routine (accepted, not used — the
+/// shim always re-runs setup outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures; handed to `bench_function` callbacks.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration wall-clock medians.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, then measure `samples` timed iterations.
+        for _ in 0..2 {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.recorded.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        std::hint::black_box(routine(input));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded.push(t.elapsed());
+        }
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut b);
+    let n = b.recorded.len();
+    println!("bench {name:<42} median {:>12.3?}  ({n} samples)", median(b.recorded));
+}
+
+/// The harness entry point, as `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion defaults to 100 samples; 20 keeps offline runs
+        // brisk while the median stays stable.
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI configuration (no-op in the shim).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group, as `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn groups_and_batched_iter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut setups = 0usize;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 16]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(setups >= 2);
+    }
+}

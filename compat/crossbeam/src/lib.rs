@@ -1,0 +1,112 @@
+//! Offline stand-in for the `crossbeam` crate: the API subset this
+//! workspace uses, built on `std`.
+//!
+//! * [`scope`] — structured scoped threads with the crossbeam 0.8 calling
+//!   convention (`scope(|s| { s.spawn(|_| ...) })` returning a
+//!   `thread::Result`), implemented over [`std::thread::scope`];
+//! * [`channel`] — a bounded MPMC channel (mutex + condvars), enough for a
+//!   work queue with backpressure: `bounded`, cloneable `Sender`/`Receiver`,
+//!   `send`/`try_send`/`recv`/`recv_timeout`, and disconnect semantics
+//!   (receivers drain the queue before reporting disconnection).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod channel;
+
+/// A handle to a scope, passed to [`scope`]'s closure and to every spawned
+/// thread (crossbeam's convention — the `|_|` argument).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, joinable within the scope.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle, so
+    /// workers can spawn siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the enclosing
+/// stack frame; all threads are joined before `scope` returns.
+///
+/// Unlike [`std::thread::scope`], a panicking child is reported as `Err`
+/// rather than resuming the panic, matching crossbeam 0.8.
+///
+/// # Errors
+///
+/// Returns the first child panic payload, if any child panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scope_collects_handle_results() {
+        let out: Vec<usize> = scope(|s| {
+            let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * i)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .collect()
+        })
+        .expect("scope ok");
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Load benchmark of the timing-query daemon: throughput and client-side
+//! latency of a mixed `worst_paths`/`quantile`/`eco_resize` workload at
+//! 1, 4 and 8 worker threads.
+//!
+//! Emits `BENCH_server.json`. Percentiles are *exact* (computed from the
+//! sorted per-request latencies measured at the client), unlike the
+//! binned histogram the server's own `stats` endpoint reports.
+//!
+//! Run with: `cargo run --release -p nsigma-bench --bin server_load`
+
+use nsigma_core::sta::TimerConfig;
+use nsigma_server::{Client, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 120;
+const WORKER_SWEEP: [usize; 3] = [1, 4, 8];
+
+struct LoadResult {
+    threads: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    requests: usize,
+    errors: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn run_load(threads: usize, coeff_path: &std::path::Path) -> LoadResult {
+    let mut timer_cfg = TimerConfig::standard(21);
+    timer_cfg.char_samples = 500;
+    timer_cfg.wire.nets = 1;
+    timer_cfg.wire.samples = 300;
+    let handle = Server::start(ServerConfig {
+        threads,
+        timer: timer_cfg,
+        coeff_path: Some(coeff_path.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let port = handle.port();
+
+    // One shared design; pick a real gate for the ECO mix from the worst
+    // path itself.
+    let mut setup = Client::connect(("127.0.0.1", port)).expect("connect");
+    setup
+        .request_ok(r#"{"cmd":"register_design","name":"dut","iscas":"c432","seed":5}"#)
+        .expect("register");
+    let wp = setup
+        .request_ok(r#"{"cmd":"worst_paths","design":"dut","k":1}"#)
+        .expect("worst_paths");
+    let eco_gate = wp.get("paths").unwrap().as_arr().unwrap()[0]
+        .get("gates")
+        .unwrap()
+        .as_arr()
+        .unwrap()[0]
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..CLIENTS {
+            let eco_gate = &eco_gate;
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+                let mut lats = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut errs = 0usize;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // 80 % worst_paths, 10 % quantile, 10 % eco_resize.
+                    let line = match i % 10 {
+                        8 => format!(
+                            r#"{{"cmd":"quantile","design":"dut","path":0,"sigma":{}}}"#,
+                            if i % 20 == 8 { "4.5" } else { "3" }
+                        ),
+                        9 => format!(
+                            r#"{{"cmd":"eco_resize","design":"dut","gate":"{eco_gate}","strength":{}}}"#,
+                            if (c + i) % 2 == 0 { 8 } else { 4 }
+                        ),
+                        _ => r#"{"cmd":"worst_paths","design":"dut","k":1}"#.to_string(),
+                    };
+                    let t = Instant::now();
+                    match client.request_ok(&line) {
+                        Ok(_) => lats.push(t.elapsed().as_secs_f64() * 1e6),
+                        Err(_) => errs += 1,
+                    }
+                }
+                (lats, errs)
+            }));
+        }
+        for w in workers {
+            let (lats, errs) = w.join().expect("client thread");
+            latencies.extend(lats);
+            errors += errs;
+        }
+    });
+    let elapsed = t0.elapsed();
+    handle.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LoadResult {
+        threads,
+        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        requests: latencies.len(),
+        errors,
+    }
+}
+
+fn main() {
+    // The first sweep point characterizes and writes the coefficients
+    // file; the later ones reload it, so the sweep measures serving, not
+    // timer builds.
+    let coeff = std::env::temp_dir().join("nsigma-server-load-coeff.txt");
+    let _ = std::fs::remove_file(&coeff);
+
+    let mut results = Vec::new();
+    for threads in WORKER_SWEEP {
+        println!("running load at {threads} worker thread(s)...");
+        let r = run_load(threads, &coeff);
+        println!(
+            "  {} req in total: {:.0} qps, p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs, {} errors",
+            r.requests, r.qps, r.p50_us, r.p99_us, r.max_us, r.errors
+        );
+        results.push(r);
+        // Let the OS reclaim the port between runs.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = std::fs::remove_file(&coeff);
+
+    let mut json = String::from("{\n  \"bench\": \"server_load\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"clients\": {CLIENTS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"mix\": \"80% worst_paths / 10% quantile / 10% eco_resize\", \"design\": \"c432\"}},"
+    );
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}, \"requests\": {}, \"errors\": {}}}",
+            r.threads, r.qps, r.p50_us, r.p99_us, r.max_us, r.requests, r.errors
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

@@ -135,6 +135,27 @@ impl CharacterizeConfig {
 /// assert!(grid.at(0, 0).moments.mean > 0.0);
 /// ```
 pub fn characterize_cell(tech: &Technology, cell: &Cell, cfg: &CharacterizeConfig) -> MomentGrid {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    characterize_cell_threads(tech, cell, cfg, threads)
+}
+
+/// [`characterize_cell`] with an explicit worker-thread cap.
+///
+/// Callers that already fan out across cells (e.g. the timer build) pass
+/// `threads = 1` to keep the machine from oversubscribing; the numbers are
+/// identical for any thread count because seeding is per grid point.
+///
+/// # Panics
+///
+/// Panics if the configuration axes are empty or `samples == 0`.
+pub fn characterize_cell_threads(
+    tech: &Technology,
+    cell: &Cell,
+    cfg: &CharacterizeConfig,
+    threads: usize,
+) -> MomentGrid {
     assert!(
         !cfg.slews.is_empty() && !cfg.loads.is_empty(),
         "characterization axes must be non-empty"
@@ -163,10 +184,7 @@ pub fn characterize_cell(tech: &Technology, cell: &Cell, cfg: &CharacterizeConfi
         .collect();
 
     let results: Vec<(usize, GridPoint)> = crossbeam::scope(|scope| {
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(chunks.len().max(1));
+        let n_threads = threads.max(1).min(chunks.len().max(1));
         let mut handles = Vec::new();
         for t in 0..n_threads {
             let my: Vec<(usize, f64, f64)> = chunks

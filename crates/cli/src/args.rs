@@ -86,18 +86,27 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgsError::Required`] when absent.
+    /// Returns [`ArgsError::MissingValue`] when the key was given as a bare
+    /// `--flag` with no value, and [`ArgsError::Required`] when absent.
     pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
-        self.get(key).ok_or_else(|| ArgsError::Required(key.into()))
+        self.get(key).ok_or_else(|| {
+            if self.flag(key) {
+                ArgsError::MissingValue(key.into())
+            } else {
+                ArgsError::Required(key.into())
+            }
+        })
     }
 
     /// An optional numeric option with a default.
     ///
     /// # Errors
     ///
-    /// Returns [`ArgsError::BadNumber`] when present but unparsable.
+    /// Returns [`ArgsError::MissingValue`] when given as a bare flag and
+    /// [`ArgsError::BadNumber`] when present but unparsable.
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgsError> {
         match self.get(key) {
+            None if self.flag(key) => Err(ArgsError::MissingValue(key.into())),
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -109,9 +118,11 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgsError::BadNumber`] when present but unparsable.
+    /// Returns [`ArgsError::MissingValue`] when given as a bare flag and
+    /// [`ArgsError::BadNumber`] when present but unparsable.
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgsError> {
         match self.get(key) {
+            None if self.flag(key) => Err(ArgsError::MissingValue(key.into())),
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -160,6 +171,24 @@ mod tests {
             a.get_usize("samples", 10),
             Err(ArgsError::BadNumber(_, _))
         ));
+    }
+
+    #[test]
+    fn bare_flag_for_valued_option_is_missing_value() {
+        let a = Args::parse(argv("analyze --coeff --paths 3")).unwrap();
+        assert_eq!(
+            a.require("coeff"),
+            Err(ArgsError::MissingValue("coeff".into()))
+        );
+        let b = Args::parse(argv("mc --samples")).unwrap();
+        assert_eq!(
+            b.get_usize("samples", 10),
+            Err(ArgsError::MissingValue("samples".into()))
+        );
+        assert_eq!(
+            b.get_f64("samples", 10.0),
+            Err(ArgsError::MissingValue("samples".into()))
+        );
     }
 
     #[test]

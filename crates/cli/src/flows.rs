@@ -13,6 +13,7 @@ use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::verilog::parse_verilog;
 use nsigma_process::Technology;
+use nsigma_server::{Client, Server, ServerConfig};
 use nsigma_stats::quantile::SigmaLevel;
 
 /// A flow error: argument, IO or domain problem, with a printable message.
@@ -190,6 +191,61 @@ pub fn run_mc(args: &Args) -> Result<String, FlowError> {
     Ok(out)
 }
 
+/// `serve`: run the timing-query daemon until a client sends `shutdown`.
+///
+/// Options: `--port <n>` (default 7227; 0 picks an ephemeral port),
+/// `--threads <n>` (default 4), `--queue <n>` (default 64),
+/// `--deadline-ms <n>` (default 5000), `--samples <n>` (default 3000),
+/// `--seed <n>`, `--coeff <file>` (reload coefficients if the file
+/// exists, else build once and write them there).
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments, bind failure, or a broken
+/// coefficients file.
+pub fn run_serve(args: &Args) -> Result<String, FlowError> {
+    let port = args.get_usize("port", 7227)?;
+    let samples = args.get_usize("samples", 3000)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let mut timer_cfg = TimerConfig::standard(seed);
+    timer_cfg.char_samples = samples;
+    let cfg = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        threads: args.get_usize("threads", 4)?,
+        queue_capacity: args.get_usize("queue", 64)?,
+        deadline: std::time::Duration::from_millis(args.get_usize("deadline-ms", 5000)? as u64),
+        timer: timer_cfg,
+        coeff_path: args.get("coeff").map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(cfg)?;
+    println!("nsigma-server listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    handle.wait();
+    Ok("server stopped".into())
+}
+
+/// `query`: send one protocol line to a running server and print the
+/// response.
+///
+/// Options: `--port <n>` (required), `--host <addr>` (default
+/// `127.0.0.1`), `--send <json-line>` (required).
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments or connection failure.
+pub fn run_query(args: &Args) -> Result<String, FlowError> {
+    let host = args.get("host").unwrap_or("127.0.0.1").to_string();
+    let port = args
+        .require("port")?
+        .parse::<u16>()
+        .map_err(|_| err("option --port: not a port number"))?;
+    let line = args.require("send")?;
+    let mut client = Client::connect((host.as_str(), port))?;
+    Ok(client.request_line(line)?)
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "nsigma-sta — N-sigma statistical timing (Jin et al., DATE 2023 reproduction)
@@ -200,16 +256,20 @@ USAGE:
                      [--spef <file.spef>] [--clock <ps>] [--paths K]
                      [--sdf <out.sdf>] [--seed N]
   nsigma-sta mc --verilog <file.v> [--spef <file.spef>] [--samples N] [--seed N]
+  nsigma-sta serve [--port N] [--threads N] [--queue N] [--deadline-ms N]
+                   [--samples N] [--seed N] [--coeff <coeff.txt>]
+  nsigma-sta query --port N [--host ADDR] --send <json-request-line>
 
 The synthetic 28 nm technology is built in; cells must come from the
-standard library (INV/BUF/NAND2/NOR2/AOI2/OAI2/XOR2 at x1/x2/x4/x8)."
+standard library (INV/BUF/NAND2/NOR2/AOI2/OAI2/XOR2 at x1/x2/x4/x8).
+`serve` speaks newline-delimited JSON; see the nsigma-server crate docs
+for the request grammar."
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::args::Args;
-    use nsigma_cells::cell::{Cell, CellKind};
     use nsigma_netlist::generators::arith::ripple_adder;
     use nsigma_netlist::mapping::map_to_cells;
     use nsigma_netlist::verilog::write_verilog;
@@ -292,6 +352,41 @@ mod tests {
         assert!(e.to_string().contains("io error"));
         let args = argv("analyze");
         assert!(run_analyze(&args).is_err());
+    }
+
+    #[test]
+    fn query_flow_round_trips_against_a_server() {
+        // Reloading the test coefficients file skips recharacterization,
+        // so the server starts in milliseconds.
+        let coeff = quick_coeff_file();
+        let cfg = ServerConfig {
+            threads: 1,
+            coeff_path: Some(coeff.into()),
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(cfg).unwrap();
+        let port = handle.port().to_string();
+
+        let args = argv_vec(vec![
+            "query",
+            "--port",
+            &port,
+            "--send",
+            r#"{"cmd":"stats"}"#,
+        ]);
+        let out = run_query(&args).unwrap();
+        assert!(out.contains(r#""ok":true"#), "{out}");
+        assert!(out.contains("stage_cache"), "{out}");
+
+        let args = argv_vec(vec!["query", "--port", &port, "--send", "not json"]);
+        let out = run_query(&args).unwrap();
+        assert!(out.contains(r#""code":"bad_request""#), "{out}");
+
+        handle.shutdown();
+    }
+
+    fn argv_vec(tokens: Vec<&str>) -> Args {
+        Args::parse(tokens.into_iter().map(|t| t.to_string())).unwrap()
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub const C_REF: f64 = 0.4e-15;
 const S_SCALE: f64 = 100e-12;
 const C_SCALE: f64 = 1e-15;
 
+/// Raw serialized form of a [`MomentCalibration`]:
+/// `(μ, σ, γ, κ, out_slew, out_slew_ref)`.
+pub type RawCalibration = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64);
+
 /// The fitted calibration of one cell's moments over operating conditions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MomentCalibration {
@@ -130,7 +134,7 @@ impl MomentCalibration {
 
     /// Extracts the raw coefficient vectors for serialization:
     /// `(μ, σ, γ, κ, out_slew, out_slew_ref)`.
-    pub fn to_raw(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+    pub fn to_raw(&self) -> RawCalibration {
         (
             self.mu.clone(),
             self.sigma.clone(),

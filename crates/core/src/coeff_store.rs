@@ -359,6 +359,44 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_is_bit_exact_end_to_end() {
+        // Coefficients are written with `{:e}` — Rust's shortest
+        // round-trip form — so a restored timer must not merely be close:
+        // a full path analysis has to agree to the last bit. This is what
+        // lets a server restart from the coefficients file and keep
+        // serving answers that compare `==` against the original build.
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let mut cfg = TimerConfig::standard(9);
+        cfg.char_samples = 300;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 200;
+        let timer = NsigmaTimer::build(&tech, &lib, &cfg).unwrap();
+        let restored = read_coefficients(&tech, &write_coefficients(&timer)).unwrap();
+
+        let netlist = nsigma_netlist::mapping::map_to_cells(
+            &nsigma_netlist::generators::arith::ripple_adder(6),
+            &lib,
+        )
+        .unwrap();
+        let design = nsigma_mc::design::Design::with_generated_parasitics(
+            tech.clone(),
+            lib.clone(),
+            netlist,
+            13,
+        );
+        let (path, original) = timer.analyze_critical_path(&design).unwrap();
+        let reloaded = restored.analyze_path(&design, &path);
+        for lvl in SigmaLevel::ALL {
+            assert_eq!(
+                original.quantiles[lvl].to_bits(),
+                reloaded.quantiles[lvl].to_bits(),
+                "{lvl} drifted through the coefficients file"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_missing_header() {
         let tech = Technology::synthetic_28nm();
         assert_eq!(

@@ -13,13 +13,19 @@ use crate::sta::NsigmaTimer;
 use nsigma_mc::design::Design;
 use nsigma_netlist::ir::{GateId, NetDriver, NetId};
 use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use std::borrow::Borrow;
 
 /// Tolerance below which an arrival/slew change does not propagate.
 const EPS: f64 = 1e-18;
 
 /// A design under incremental N-sigma analysis.
-pub struct IncrementalTimer<'t> {
-    timer: &'t NsigmaTimer,
+///
+/// Generic over how the underlying timer is held: borrow it for a scoped
+/// sizing loop (`IncrementalTimer::new(&timer, ...)`), or hand in an
+/// `Arc<NsigmaTimer>` so a long-lived owner (the query daemon) can keep
+/// many incremental views over one shared timer without a lifetime tie.
+pub struct IncrementalTimer<B: Borrow<NsigmaTimer>> {
+    timer: B,
     design: Design,
     rule: MergeRule,
     order: Vec<GateId>,
@@ -29,28 +35,34 @@ pub struct IncrementalTimer<'t> {
     last_recompute: usize,
 }
 
-impl<'t> IncrementalTimer<'t> {
+impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
     /// Builds the incremental view and runs the initial full analysis.
     ///
     /// # Panics
     ///
     /// Panics if the design has no gates.
-    pub fn new(timer: &'t NsigmaTimer, design: Design, rule: MergeRule) -> Self {
+    pub fn new(timer: B, design: Design, rule: MergeRule) -> Self {
         assert!(design.netlist.num_gates() > 0, "design has no gates");
         let order = nsigma_netlist::topo::topo_order(&design.netlist);
         let nets = design.netlist.num_nets();
+        let input_slew = timer.borrow().input_slew();
         let mut this = Self {
             timer,
             design,
             rule,
             order,
             arrival: vec![QuantileSet::default(); nets],
-            slew: vec![timer.input_slew(); nets],
+            slew: vec![input_slew; nets],
             last_recompute: 0,
         };
         let all: Vec<GateId> = this.order.clone();
         this.recompute(&all, &mut std::collections::HashSet::new());
         this
+    }
+
+    /// The shared timer.
+    pub fn timer(&self) -> &NsigmaTimer {
+        self.timer.borrow()
     }
 
     /// The analyzed design (read-only).
@@ -158,6 +170,7 @@ impl<'t> IncrementalTimer<'t> {
 
     /// One gate's block-based update (same math as `analyze_design_with`).
     fn evaluate_gate(&self, g: GateId) -> (NetId, QuantileSet, f64) {
+        let timer = self.timer.borrow();
         let design = &self.design;
         let gate = design.netlist.gate(g);
         let cell = design.lib.cell(gate.cell);
@@ -165,7 +178,7 @@ impl<'t> IncrementalTimer<'t> {
         let load = design.stage_effective_load(net);
 
         let mut in_arrival = QuantileSet::default();
-        let mut in_slew = self.timer.input_slew();
+        let mut in_slew = timer.input_slew();
         let mut worst = f64::NEG_INFINITY;
         let mut first = true;
         for &i in &gate.inputs {
@@ -183,9 +196,7 @@ impl<'t> IncrementalTimer<'t> {
             }
         }
 
-        let cal = &self.timer.calibrations()[cell.name()];
-        let moments = cal.moments_at(in_slew, load);
-        let cell_q = self.timer.quantile_model().predict(&moments);
+        let (cell_q, out_slew) = timer.stage_cell_quantiles(cell.name(), in_slew, load);
 
         // Wire quantiles toward the worst sink (consistent with the
         // block-based convention of `analyze_design_with`).
@@ -200,12 +211,10 @@ impl<'t> IncrementalTimer<'t> {
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
-                let q = self
-                    .timer
+                let q = timer
                     .wire_model()
                     .wire_quantiles(bases[pos], cell, loads[pos]);
-                let mean = self
-                    .timer
+                let mean = timer
                     .wire_model()
                     .predict_mean(bases[pos], cell, loads[pos]);
                 (q, mean)
@@ -214,12 +223,12 @@ impl<'t> IncrementalTimer<'t> {
         };
 
         let arrival = in_arrival.add(&cell_q).add(&wire_q);
-        let slew = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+        let slew = (out_slew + 2.0 * wire_mean).max(0.0);
         (net, arrival, slew)
     }
 }
 
-impl std::fmt::Debug for IncrementalTimer<'_> {
+impl<B: Borrow<NsigmaTimer>> std::fmt::Debug for IncrementalTimer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IncrementalTimer")
             .field("gates", &self.order.len())

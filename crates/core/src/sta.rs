@@ -11,7 +11,7 @@
 use crate::calibration::{MomentCalibration, C_REF, S_REF};
 use crate::cell_model::CellQuantileModel;
 use crate::wire_model::{WireCalibConfig, WireVariabilityModel};
-use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
+use nsigma_cells::characterize::{characterize_cell_threads, CharacterizeConfig, MomentGrid};
 use nsigma_cells::{Cell, CellKind, CellLibrary};
 use nsigma_mc::design::Design;
 use nsigma_netlist::ir::{NetDriver, NetId};
@@ -19,7 +19,10 @@ use nsigma_netlist::topo::Path;
 use nsigma_process::Technology;
 use nsigma_stats::quantile::QuantileSet;
 use nsigma_stats::regression::FitError;
+use nsigma_stats::rng::SeedStream;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Configuration for building a timer.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +102,33 @@ impl From<FitError> for BuildTimerError {
     }
 }
 
+/// Snapshot of the timer's stage-quantile cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate the model.
+    pub misses: u64,
+    /// Distinct `(cell, slew, load)` entries currently cached.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cache key: cell name plus the exact bit patterns of the operating point,
+/// so a hit returns the identical `f64`s a fresh evaluation would.
+type StageKey = (String, u64, u64);
+
 /// The N-sigma statistical timer.
 pub struct NsigmaTimer {
     tech: Technology,
@@ -106,6 +136,12 @@ pub struct NsigmaTimer {
     calibrations: HashMap<String, MomentCalibration>,
     wire_model: WireVariabilityModel,
     input_slew: f64,
+    /// Memoized per-stage `(cell quantiles, raw output slew)` keyed on the
+    /// exact operating point. The model is a pure function of the key, so
+    /// cached answers are bit-identical to recomputed ones.
+    stage_cache: RwLock<HashMap<StageKey, (QuantileSet, f64)>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl NsigmaTimer {
@@ -123,26 +159,77 @@ impl NsigmaTimer {
         if lib.is_empty() {
             return Err(BuildTimerError::EmptyLibrary);
         }
-        let char_cfg = CharacterizeConfig::standard(cfg.char_samples, cfg.seed);
+        // Cells are characterized independently, so fan out across them.
+        // Each cell gets a seed tagged by its library index, making the
+        // numbers a function of (master seed, cell position) alone —
+        // identical for any thread count or scheduling. The inner per-cell
+        // grid parallelism is pinned to one thread here; the outer fan-out
+        // already saturates the machine.
+        let cells: Vec<&Cell> = lib.iter().map(|(_, c)| c).collect();
+        let seeds = SeedStream::new(cfg.seed);
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(cells.len());
+        let indexed: Vec<(usize, MomentGrid)> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..n_threads {
+                let my: Vec<(usize, &Cell)> = cells
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .skip(t)
+                    .step_by(n_threads)
+                    .collect();
+                let seeds = &seeds;
+                handles.push(scope.spawn(move |_| {
+                    my.into_iter()
+                        .map(|(idx, cell)| {
+                            let char_cfg = CharacterizeConfig::standard(
+                                cfg.char_samples,
+                                seeds.tagged_seed(idx as u64),
+                            );
+                            (idx, characterize_cell_threads(tech, cell, &char_cfg, 1))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("cell characterization worker panicked"))
+                .collect()
+        })
+        .expect("characterization scope failed");
+
+        let mut grids: Vec<Option<MomentGrid>> = vec![None; cells.len()];
+        for (idx, grid) in indexed {
+            grids[idx] = Some(grid);
+        }
+
+        // Fit in library order so the training set (and thus the global
+        // Table I fit) is independent of which worker finished first.
         let mut calibrations = HashMap::new();
         let mut training = Vec::new();
-        for (_, cell) in lib.iter() {
-            let grid = characterize_cell(tech, cell, &char_cfg);
+        for (cell, grid) in cells.iter().zip(&grids) {
+            let grid = grid.as_ref().expect("every cell characterized");
             for p in grid.iter() {
                 training.push((p.moments, p.quantiles));
             }
-            calibrations.insert(cell.name().to_string(), MomentCalibration::fit(&grid, S_REF, C_REF)?);
+            calibrations.insert(
+                cell.name().to_string(),
+                MomentCalibration::fit(grid, S_REF, C_REF)?,
+            );
         }
         let quantile_model = CellQuantileModel::fit(&training)?;
         let all_cells: Vec<Cell> = lib.iter().map(|(_, c)| c.clone()).collect();
         let wire_model = WireVariabilityModel::calibrate_with_cells(tech, &cfg.wire, &all_cells)?;
-        Ok(Self {
-            tech: tech.clone(),
+        Ok(Self::from_parts(
+            tech.clone(),
             quantile_model,
             calibrations,
             wire_model,
-            input_slew: cfg.input_slew,
-        })
+            cfg.input_slew,
+        ))
     }
 
     /// Constructs a timer from already-fitted components (used by the
@@ -160,6 +247,49 @@ impl NsigmaTimer {
             calibrations,
             wire_model,
             input_slew,
+            stage_cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The stage-quantile cell evaluation, memoized on the exact operating
+    /// point. Returns the cell delay quantiles and the *raw* output slew
+    /// (before wire-mean adjustment) for `(cell, input slew, load)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer has no calibration for `cell_name`.
+    pub fn stage_cell_quantiles(&self, cell_name: &str, slew: f64, load: f64) -> (QuantileSet, f64) {
+        let key: StageKey = (cell_name.to_string(), slew.to_bits(), load.to_bits());
+        if let Some(&cached) = self.stage_cache.read().expect("stage cache poisoned").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let cal = self
+            .calibrations
+            .get(cell_name)
+            .unwrap_or_else(|| panic!("timer has no calibration for {cell_name}"));
+        let moments = cal.moments_at(slew, load);
+        let value = (
+            self.quantile_model.predict(&moments),
+            cal.output_slew_at(slew, load),
+        );
+        self.stage_cache
+            .write()
+            .expect("stage cache poisoned")
+            .insert(key, value);
+        value
+    }
+
+    /// Cache counters since construction (the cache survives for the
+    /// timer's lifetime; long-lived daemons report these via `stats`).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            entries: self.stage_cache.read().expect("stage cache poisoned").len() as u64,
         }
     }
 
@@ -205,12 +335,7 @@ impl NsigmaTimer {
             let net = gate.output;
             let load = design.stage_effective_load(net);
 
-            let cal = self
-                .calibrations
-                .get(cell.name())
-                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
-            let moments = cal.moments_at(slew, load);
-            let cell_q = self.quantile_model.predict(&moments);
+            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), slew, load);
 
             let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, path.gates.get(k + 1).copied());
 
@@ -223,7 +348,7 @@ impl NsigmaTimer {
                 cell_quantiles: cell_q,
                 wire_quantiles: wire_q,
             });
-            slew = (cal.output_slew_at(slew, load) + 2.0 * wire_mean).max(0.0);
+            slew = (out_slew + 2.0 * wire_mean).max(0.0);
         }
         PathTiming {
             quantiles: total,
@@ -342,16 +467,11 @@ impl NsigmaTimer {
                 }
             }
 
-            let cal = self
-                .calibrations
-                .get(cell.name())
-                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
-            let moments = cal.moments_at(in_slew, load);
-            let cell_q = self.quantile_model.predict(&moments);
+            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), in_slew, load);
             let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
 
             arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
-            slew[net.index()] = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+            slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
         }
 
         let mut worst: Option<QuantileSet> = None;
@@ -407,16 +527,11 @@ impl NsigmaTimer {
             }
             let in_arrival = in_arrival.unwrap_or_default();
 
-            let cal = self
-                .calibrations
-                .get(cell.name())
-                .unwrap_or_else(|| panic!("timer has no calibration for {}", cell.name()));
-            let moments = cal.moments_at(in_slew, load);
-            let cell_q = self.quantile_model.predict(&moments);
+            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), in_slew, load);
             let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
 
             arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
-            slew[net.index()] = (cal.output_slew_at(in_slew, load) + 2.0 * wire_mean).max(0.0);
+            slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
         }
 
         let mut earliest: Option<QuantileSet> = None;

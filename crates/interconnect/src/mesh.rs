@@ -204,8 +204,7 @@ mod linalgebra_shim {
             perm.swap(col, pivot);
             let p = perm[col];
             let diag = lu[p * n + col];
-            for row in (col + 1)..n {
-                let r = perm[row];
+            for &r in &perm[col + 1..n] {
                 let f = lu[r * n + col] / diag;
                 lu[r * n + col] = f;
                 for j in (col + 1)..n {

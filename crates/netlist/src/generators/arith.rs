@@ -123,11 +123,11 @@ pub fn array_multiplier(width: usize) -> LogicCircuit {
     c.outputs.push(row[0].clone()); // p0
     let mut prev = row[1..].to_vec(); // weights 1..w-1 relative to next row's 0
 
-    for i in 1..width {
+    for (i, pp_row) in pp.iter().enumerate().skip(1) {
         let mut carry: Option<String> = None;
         let mut next = Vec::with_capacity(width);
         for j in 0..width {
-            let x = pp[i][j].clone();
+            let x = pp_row[j].clone();
             let y = if j < prev.len() {
                 prev[j].clone()
             } else {

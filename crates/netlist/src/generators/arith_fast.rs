@@ -129,9 +129,7 @@ pub fn wallace_multiplier(width: usize) -> LogicCircuit {
     while columns.iter().any(|col| col.len() > 2) {
         let mut next: Vec<Vec<String>> = vec![Vec::new(); out_w];
         for (w, col) in columns.iter().enumerate() {
-            let mut it = col.chunks(3);
-            let mut k = 0;
-            for chunk in &mut it {
+            for (k, chunk) in col.chunks(3).enumerate() {
                 match chunk {
                     [x, y, z] => {
                         let tag = format!("r{round}_{w}_{k}");
@@ -157,7 +155,6 @@ pub fn wallace_multiplier(width: usize) -> LogicCircuit {
                     [x] => next[w].push(x.clone()),
                     _ => unreachable!("chunks(3) yields 1..=3 items"),
                 }
-                k += 1;
             }
         }
         columns = next;

@@ -200,13 +200,12 @@ pub fn k_longest_paths_by(
     }
     let order = topo_order(netlist);
     let n = netlist.num_gates();
-    // Per gate: up to k (arrival, Option<(pred_gate, pred_rank)>), sorted
-    // descending by arrival.
-    let mut tops: Vec<Vec<(f64, Option<(GateId, usize)>)>> = vec![Vec::new(); n];
+    // Per gate: up to k candidates, sorted descending by arrival.
+    let mut tops: Vec<Vec<TopCandidate>> = vec![Vec::new(); n];
 
     for &g in &order {
         let w = gate_weight(g);
-        let mut cands: Vec<(f64, Option<(GateId, usize)>)> = Vec::new();
+        let mut cands: Vec<TopCandidate> = Vec::new();
         let mut from_pi = false;
         for &i in &netlist.gate(g).inputs {
             match netlist.net(i).driver {
@@ -255,10 +254,15 @@ pub fn k_longest_paths_by(
         .collect()
 }
 
+/// One ranked arrival candidate at a gate: the arrival weight plus the
+/// predecessor link `(gate, rank)` it came through (`None` at a primary
+/// input).
+type TopCandidate = (f64, Option<(GateId, usize)>);
+
 /// Walks the top-k links back from `(end, rank)` into a [`Path`].
 fn reconstruct(
     netlist: &Netlist,
-    tops: &[Vec<(f64, Option<(GateId, usize)>)>],
+    tops: &[Vec<TopCandidate>],
     end: GateId,
     rank: usize,
 ) -> Path {

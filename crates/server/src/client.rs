@@ -1,0 +1,97 @@
+//! A minimal blocking client for the newline-delimited JSON protocol.
+
+use crate::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `("127.0.0.1", port)` or `"host:port"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `UnexpectedEof` if the server closed the
+    /// connection before responding.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        // One write per request: two small writes would trip over Nagle +
+        // delayed ACK even with TCP_NODELAY only on one side.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a request line and parses the response as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` when the response is not valid JSON.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request_line(line)?;
+        json::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response {raw:?}: {e}"),
+            )
+        })
+    }
+
+    /// Like [`Client::request`], but fails unless the server answered
+    /// `"ok": true`; returns the full payload object.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::request`] returns, plus `Other` carrying
+    /// `code: message` when the server answered an error response.
+    pub fn request_ok(&mut self, line: &str) -> std::io::Result<Value> {
+        let v = self.request(line)?;
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            return Ok(v);
+        }
+        let code = v
+            .get("code")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let msg = v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        Err(std::io::Error::other(format!("{code}: {msg}")))
+    }
+}

@@ -1,0 +1,221 @@
+//! The bounded job queue and worker pool.
+//!
+//! Connections submit parsed requests as [`Job`]s through a bounded
+//! crossbeam channel; `try_send` gives immediate backpressure (the
+//! `overloaded` protocol error) instead of unbounded queue growth. Workers
+//! share the engine through an `Arc` and each job carries its own
+//! single-slot reply channel back to the submitting connection.
+//!
+//! Shutdown is graceful by construction: dropping the sender disconnects
+//! the channel, and the channel delivers every already-queued job before
+//! reporting disconnection, so in-flight work drains before workers exit.
+
+use crate::protocol::Request;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One queued request plus everything needed to answer it.
+pub struct Job {
+    /// The parsed request.
+    pub request: Request,
+    /// When the connection enqueued it (deadline bookkeeping).
+    pub enqueued: Instant,
+    /// Where the serialized response line goes.
+    pub reply: Sender<String>,
+}
+
+impl Job {
+    /// Creates a job stamped `now`, returning it with the paired receiver
+    /// the submitter waits on.
+    pub fn new(request: Request) -> (Self, crossbeam::channel::Receiver<String>) {
+        let (tx, rx) = bounded(1);
+        (
+            Self {
+                request,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — the typed backpressure signal.
+    Overloaded,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+/// A fixed set of worker threads draining the bounded queue.
+pub struct WorkerPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers over a queue of `capacity` slots; each job
+    /// is passed to `handler`.
+    pub fn new<F>(threads: usize, capacity: usize, handler: Arc<F>) -> Self
+    where
+        F: Fn(Job) + Send + Sync + 'static,
+    {
+        let (tx, rx) = bounded::<Job>(capacity.max(1));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("nsigma-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            handler(job);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.tx
+            .lock()
+            .expect("pool sender poisoned")
+            .as_ref()
+            .map(|tx| tx.len())
+            .unwrap_or(0)
+    }
+
+    /// Non-blocking submission.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] after [`WorkerPool::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let guard = self.tx.lock().expect("pool sender poisoned");
+        match guard.as_ref() {
+            None => Err(SubmitError::ShuttingDown),
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(SubmitError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            },
+        }
+    }
+
+    /// Stops accepting jobs, drains everything already queued, and joins
+    /// the workers.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("pool sender poisoned").take());
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("pool workers poisoned")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn echo_handler() -> Arc<impl Fn(Job) + Send + Sync> {
+        Arc::new(|job: Job| {
+            let _ = job.reply.send(format!("done:{}", job.request.endpoint()));
+        })
+    }
+
+    #[test]
+    fn round_trips_a_job() {
+        let pool = WorkerPool::new(2, 4, echo_handler());
+        let (job, rx) = Job::new(Request::Stats);
+        pool.submit(job).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "done:stats");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        // One slow worker, capacity 1: the first job occupies the worker,
+        // the second fills the queue, the third must be rejected.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let handler = Arc::new(move |job: Job| {
+            while g.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = job.reply.send("ok".into());
+        });
+        let pool = WorkerPool::new(1, 1, handler);
+        let (j1, r1) = Job::new(Request::Stats);
+        let (j2, r2) = Job::new(Request::Stats);
+        pool.submit(j1).unwrap();
+        // Give the worker a moment to pick up j1 so j2 lands in the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.submit(j2).unwrap();
+        let mut saw_overload = false;
+        for _ in 0..3 {
+            let (j3, _r3) = Job::new(Request::Stats);
+            if pool.submit(j3) == Err(SubmitError::Overloaded) {
+                saw_overload = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(saw_overload, "full queue must reject with Overloaded");
+        gate.store(1, Ordering::SeqCst);
+        assert_eq!(r1.recv_timeout(Duration::from_secs(5)).unwrap(), "ok");
+        assert_eq!(r2.recv_timeout(Duration::from_secs(5)).unwrap(), "ok");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&served);
+        let handler = Arc::new(move |job: Job| {
+            std::thread::sleep(Duration::from_millis(5));
+            s.fetch_add(1, Ordering::SeqCst);
+            let _ = job.reply.send("ok".into());
+        });
+        let pool = WorkerPool::new(2, 16, handler);
+        let mut receivers = Vec::new();
+        for _ in 0..10 {
+            let (job, rx) = Job::new(Request::Stats);
+            pool.submit(job).unwrap();
+            receivers.push(rx);
+        }
+        pool.shutdown();
+        assert_eq!(served.load(Ordering::SeqCst), 10, "shutdown must drain");
+        for rx in receivers {
+            assert!(rx.try_recv().is_ok());
+        }
+        assert_eq!(
+            pool.submit(Job::new(Request::Stats).0),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! The daemon: engine, accept loop, and lifecycle handle.
+//!
+//! [`Server::start`] builds (or reloads, via the coefficients store) the
+//! N-sigma timer once, binds a TCP listener, and serves the
+//! newline-delimited JSON protocol of [`crate::protocol`]. Each connection
+//! gets a reader thread; parsed requests flow through the bounded
+//! [`WorkerPool`] into the shared [`Engine`], which owns the timer behind
+//! an `Arc` and the registered designs behind the sharded store.
+//!
+//! Shutdown — from the `shutdown` endpoint or [`ServerHandle::shutdown`] —
+//! raises a flag, wakes the blocking accept with a self-connection, joins
+//! the connection threads (each finishes its in-flight request), then
+//! drains the worker queue.
+
+use crate::json::Value;
+use crate::metrics::Metrics;
+use crate::pool::{Job, SubmitError, WorkerPool};
+use crate::protocol::{error_response, ok_response, parse_request, Generator, Request};
+use crate::store::DesignStore;
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::TimerConfig;
+use nsigma_core::{
+    read_coefficients, write_coefficients, IncrementalTimer, MergeRule, NsigmaTimer, YieldCurve,
+};
+use nsigma_mc::design::Design;
+use nsigma_mc::path_sim::find_critical_path;
+use nsigma_netlist::generators::random_dag::{synthetic_circuit, Iscas85, SyntheticConfig};
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_netlist::{k_longest_paths_by, Path};
+use nsigma_process::Technology;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Everything [`Server::start`] needs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing timing queries.
+    pub threads: usize,
+    /// Bounded job-queue capacity; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Maximum time a request may wait in the queue before it is answered
+    /// with a `deadline` error instead of being executed.
+    pub deadline: Duration,
+    /// Timer build configuration (characterization samples, seed, …).
+    pub timer: TimerConfig,
+    /// When set, coefficients are loaded from this file if it exists
+    /// (skipping recharacterization) and written there after a fresh build.
+    pub coeff_path: Option<PathBuf>,
+    /// Shard count of the design store.
+    pub store_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(5),
+            timer: TimerConfig::standard(1),
+            coeff_path: None,
+            store_shards: 8,
+        }
+    }
+}
+
+/// A request outcome: payload fields for `ok_response`, or an error code
+/// plus message.
+type ExecResult = Result<Vec<(&'static str, Value)>, (&'static str, String)>;
+
+/// The shared request executor: one timer, many designs, all counters.
+pub struct Engine {
+    tech: Technology,
+    lib: CellLibrary,
+    timer: Arc<NsigmaTimer>,
+    store: DesignStore,
+    /// Request/latency counters, exposed for the connection layer to count
+    /// parse failures and overload rejections.
+    pub metrics: Metrics,
+    deadline: Duration,
+    shutdown: AtomicBool,
+    started: Instant,
+    threads: usize,
+    addr: OnceLock<SocketAddr>,
+    pool: OnceLock<Weak<WorkerPool>>,
+}
+
+impl Engine {
+    fn new(
+        tech: Technology,
+        lib: CellLibrary,
+        timer: Arc<NsigmaTimer>,
+        cfg: &ServerConfig,
+    ) -> Self {
+        Self {
+            tech,
+            lib,
+            timer,
+            store: DesignStore::new(cfg.store_shards),
+            metrics: Metrics::new(),
+            deadline: cfg.deadline,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            threads: cfg.threads,
+            addr: OnceLock::new(),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// The timer every query runs against.
+    pub fn timer(&self) -> &Arc<NsigmaTimer> {
+        &self.timer
+    }
+
+    /// How long a request may wait in the queue.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Raises the shutdown flag and wakes the blocking accept loop with a
+    /// self-connection.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr.get() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+        }
+    }
+
+    /// Worker entry point: deadline check, execute, record, reply.
+    pub fn process(&self, job: Job) {
+        let waited = job.enqueued.elapsed();
+        if waited > self.deadline {
+            self.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(error_response(
+                "deadline",
+                &format!(
+                    "request spent {} ms queued, over the {} ms deadline",
+                    waited.as_millis(),
+                    self.deadline.as_millis()
+                ),
+            ));
+            return;
+        }
+        let endpoint = job.request.endpoint();
+        let t0 = Instant::now();
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(job.request)));
+        let micros = t0.elapsed().as_micros() as u64;
+        let (ok, line) = match outcome {
+            Ok(Ok(payload)) => (true, ok_response(payload)),
+            Ok(Err((code, msg))) => (false, error_response(code, &msg)),
+            Err(_) => (false, error_response("internal", "request handler panicked")),
+        };
+        self.metrics.record(endpoint, ok, micros);
+        let _ = job.reply.send(line);
+    }
+
+    /// Executes one request against the timer and store.
+    pub fn execute(&self, request: Request) -> ExecResult {
+        match request {
+            Request::RegisterDesign {
+                name,
+                generator,
+                seed,
+            } => self.register_design(name, generator, seed),
+            Request::AnalyzePath { design } => self.analyze_path(&design),
+            Request::WorstPaths { design, k } => self.worst_paths(&design, k),
+            Request::Quantile {
+                design,
+                path,
+                sigma,
+            } => self.quantile(&design, path, sigma),
+            Request::EcoResize {
+                design,
+                gate,
+                strength,
+            } => self.eco_resize(&design, &gate, strength),
+            Request::Stats => Ok(self.stats()),
+            Request::Shutdown => {
+                self.trigger_shutdown();
+                Ok(vec![("stopping", Value::Bool(true))])
+            }
+        }
+    }
+
+    fn register_design(&self, name: String, generator: Generator, seed: u64) -> ExecResult {
+        let circuit = match generator {
+            Generator::Iscas(bench) => Iscas85::ALL
+                .into_iter()
+                .find(|b| b.name() == bench)
+                .ok_or_else(|| {
+                    (
+                        "bad_request",
+                        format!("unknown ISCAS85 benchmark {bench:?}"),
+                    )
+                })?
+                .generate(),
+            Generator::Synthetic {
+                gates,
+                inputs,
+                outputs,
+                depth,
+                seed,
+            } => {
+                if gates == 0 || inputs == 0 || outputs == 0 || depth == 0 {
+                    return Err((
+                        "bad_request",
+                        "gates, inputs, outputs and depth must all be positive".to_string(),
+                    ));
+                }
+                synthetic_circuit(&SyntheticConfig {
+                    name: name.clone(),
+                    gates,
+                    inputs,
+                    outputs,
+                    depth,
+                    seed,
+                })
+            }
+        };
+        let netlist = map_to_cells(&circuit, &self.lib)
+            .map_err(|e| ("internal", format!("technology mapping failed: {e}")))?;
+        let design =
+            Design::with_generated_parasitics(self.tech.clone(), self.lib.clone(), netlist, seed);
+        let gates = design.netlist.num_gates();
+        let inc = IncrementalTimer::new(Arc::clone(&self.timer), design, MergeRule::Pessimistic);
+        let worst = inc.worst_output();
+        if !self.store.insert(&name, inc) {
+            return Err((
+                "bad_request",
+                format!("design {name:?} is already registered"),
+            ));
+        }
+        Ok(vec![
+            ("design", Value::Str(name)),
+            ("gates", Value::Num(gates as f64)),
+            ("worst_quantiles", quantiles_json(&worst)),
+        ])
+    }
+
+    fn analyze_path(&self, design: &str) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let inc = slot.read().expect("design slot poisoned");
+        let path = find_critical_path(inc.design())
+            .ok_or_else(|| ("not_found", format!("design {design:?} has no gates")))?;
+        let timing = inc.timer().analyze_path(inc.design(), &path);
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("gates", path_gates_json(inc.design(), &path)),
+            ("stages", Value::Num(path.len() as f64)),
+            ("quantiles", quantiles_json(&timing.quantiles)),
+        ])
+    }
+
+    fn worst_paths(&self, design: &str, k: usize) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let inc = slot.read().expect("design slot poisoned");
+        let paths = ranked_paths(inc.design(), k.max(1));
+        let mut out = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let timing = inc.timer().analyze_path(inc.design(), path);
+            out.push(Value::Obj(vec![
+                (
+                    "gates".to_string(),
+                    path_gates_json(inc.design(), path),
+                ),
+                ("stages".to_string(), Value::Num(path.len() as f64)),
+                (
+                    "quantiles".to_string(),
+                    quantiles_json(&timing.quantiles),
+                ),
+            ]));
+        }
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("paths", Value::Arr(out)),
+        ])
+    }
+
+    fn quantile(&self, design: &str, rank: usize, sigma: f64) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let inc = slot.read().expect("design slot poisoned");
+        let paths = ranked_paths(inc.design(), rank + 1);
+        let path = paths.get(rank).ok_or_else(|| {
+            (
+                "not_found",
+                format!("design {design:?} has only {} ranked paths", paths.len()),
+            )
+        })?;
+        let timing = inc.timer().analyze_path(inc.design(), path);
+        let q = timing.quantiles;
+        let delay = if sigma.fract() == 0.0 && (-3.0..=3.0).contains(&sigma) {
+            q[integer_level(sigma as i32)]
+        } else {
+            let strictly_increasing = q
+                .as_array()
+                .windows(2)
+                .all(|w| w[1] > w[0]);
+            if !strictly_increasing {
+                return Err((
+                    "internal",
+                    "path quantiles are degenerate; cannot extrapolate".to_string(),
+                ));
+            }
+            q[SigmaLevel::Zero] + YieldCurve::new(&q).margin(0.0, sigma)
+        };
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("path", Value::Num(rank as f64)),
+            ("sigma", Value::Num(sigma)),
+            ("delay", Value::Num(delay)),
+        ])
+    }
+
+    fn eco_resize(&self, design: &str, gate: &str, strength: u32) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let mut inc = slot.write().expect("design slot poisoned");
+        let gid = inc
+            .design()
+            .netlist
+            .gate_ids()
+            .find(|&g| inc.design().netlist.gate(g).name == gate)
+            .ok_or_else(|| {
+                (
+                    "not_found",
+                    format!("design {design:?} has no gate {gate:?}"),
+                )
+            })?;
+        let kind = {
+            let g = inc.design().netlist.gate(gid);
+            inc.design().lib.cell(g.cell).kind()
+        };
+        if self.lib.find_kind(kind, strength).is_none() {
+            return Err((
+                "bad_request",
+                format!("library has no {}x{strength}", kind.prefix()),
+            ));
+        }
+        let worst = inc.resize_gate(gid, strength);
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("gate", Value::Str(gate.to_string())),
+            ("strength", Value::Num(strength as f64)),
+            ("recomputed_gates", Value::Num(inc.last_recompute_count() as f64)),
+            ("worst_quantiles", quantiles_json(&worst)),
+        ])
+    }
+
+    fn stats(&self) -> Vec<(&'static str, Value)> {
+        let cache = self.timer.cache_stats();
+        let (depth, capacity) = self
+            .pool
+            .get()
+            .and_then(Weak::upgrade)
+            .map(|p| (p.queued(), p.capacity()))
+            .unwrap_or((0, 0));
+        vec![
+            (
+                "uptime_s",
+                Value::Num(self.started.elapsed().as_secs_f64()),
+            ),
+            ("threads", Value::Num(self.threads as f64)),
+            ("designs", Value::Num(self.store.len() as f64)),
+            ("queue_depth", Value::Num(depth as f64)),
+            ("queue_capacity", Value::Num(capacity as f64)),
+            (
+                "stage_cache",
+                Value::Obj(vec![
+                    ("hits".to_string(), Value::Num(cache.hits as f64)),
+                    ("misses".to_string(), Value::Num(cache.misses as f64)),
+                    ("entries".to_string(), Value::Num(cache.entries as f64)),
+                    ("hit_rate".to_string(), Value::Num(cache.hit_rate())),
+                ]),
+            ),
+            ("metrics", self.metrics.snapshot()),
+        ]
+    }
+
+    fn lookup(&self, design: &str) -> Result<Arc<crate::store::DesignSlot>, (&'static str, String)> {
+        self.store
+            .get(design)
+            .ok_or_else(|| ("not_found", format!("no design named {design:?}")))
+    }
+}
+
+/// The worst-path ranking shared with `report::report_worst_paths`: nominal
+/// per-stage arc delays as additive weights, then a k-longest search.
+fn ranked_paths(design: &Design, k: usize) -> Vec<Path> {
+    let weights: Vec<f64> = design
+        .netlist
+        .gate_ids()
+        .map(|g| {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            nsigma_cells::timing::nominal_arc(
+                &design.tech,
+                cell,
+                20e-12,
+                design.stage_effective_load(gate.output),
+            )
+            .delay
+        })
+        .collect();
+    k_longest_paths_by(&design.netlist, |g| weights[g.index()], k)
+}
+
+fn integer_level(n: i32) -> SigmaLevel {
+    match n {
+        -3 => SigmaLevel::MinusThree,
+        -2 => SigmaLevel::MinusTwo,
+        -1 => SigmaLevel::MinusOne,
+        0 => SigmaLevel::Zero,
+        1 => SigmaLevel::PlusOne,
+        2 => SigmaLevel::PlusTwo,
+        _ => SigmaLevel::PlusThree,
+    }
+}
+
+/// A quantile set as a 7-element JSON array, −3σ first. `{:e}` round-trip
+/// serialization keeps every bit, so clients can compare `==` against a
+/// local timer.
+fn quantiles_json(q: &QuantileSet) -> Value {
+    Value::Arr(q.as_array().iter().map(|&x| Value::Num(x)).collect())
+}
+
+fn path_gates_json(design: &Design, path: &Path) -> Value {
+    Value::Arr(
+        path.gates
+            .iter()
+            .map(|&g| Value::Str(design.netlist.gate(g).name.clone()))
+            .collect(),
+    )
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Builds (or reloads) the timer, binds, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding or the coefficients file; timer build or
+    /// coefficient-parse failures are surfaced as `InvalidData`.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let timer = Arc::new(load_or_build_timer(&tech, &lib, &cfg)?);
+        let engine = Arc::new(Engine::new(tech, lib, timer, &cfg));
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        engine.addr.set(addr).expect("addr set once");
+
+        let handler = {
+            let engine = Arc::clone(&engine);
+            Arc::new(move |job: Job| engine.process(job))
+        };
+        let pool = Arc::new(WorkerPool::new(cfg.threads, cfg.queue_capacity, handler));
+        engine
+            .pool
+            .set(Arc::downgrade(&pool))
+            .expect("pool set once");
+
+        let accept = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("nsigma-accept".to_string())
+                .spawn(move || accept_loop(listener, engine, pool))
+                .expect("spawn accept thread")
+        };
+        Ok(ServerHandle {
+            addr,
+            engine,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn load_or_build_timer(
+    tech: &Technology,
+    lib: &CellLibrary,
+    cfg: &ServerConfig,
+) -> std::io::Result<NsigmaTimer> {
+    if let Some(path) = &cfg.coeff_path {
+        if path.exists() {
+            let text = std::fs::read_to_string(path)?;
+            return read_coefficients(tech, &text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("coefficients file {}: {e}", path.display()),
+                )
+            });
+        }
+    }
+    let timer = NsigmaTimer::build(tech, lib, &cfg.timer)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    if let Some(path) = &cfg.coeff_path {
+        std::fs::write(path, write_coefficients(&timer))?;
+    }
+    Ok(timer)
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, pool: Arc<WorkerPool>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if engine.is_shutdown() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if engine.is_shutdown() {
+                    break; // the wake-up self-connection
+                }
+                let engine = Arc::clone(&engine);
+                let pool = Arc::clone(&pool);
+                conns.retain(|h| !h.is_finished());
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("nsigma-conn".to_string())
+                        .spawn(move || serve_connection(stream, engine, pool))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(_) => {
+                if engine.is_shutdown() {
+                    break;
+                }
+            }
+        }
+    }
+    // Graceful drain: connections finish their in-flight request, then the
+    // pool works off everything already queued.
+    for h in conns {
+        let _ = h.join();
+    }
+    pool.shutdown();
+}
+
+fn serve_connection(stream: TcpStream, engine: Arc<Engine>, pool: Arc<WorkerPool>) {
+    // Short read timeouts let the reader poll the shutdown flag without a
+    // dedicated wake-up channel per connection.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    // Without TCP_NODELAY, Nagle holds the response until the client's
+    // delayed ACK (~40 ms per request on Linux).
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if engine.is_shutdown() {
+            break;
+        }
+        // No `line.clear()` before the read: a timeout can leave a partial
+        // line buffered, which the next read continues.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let mut response = {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        line.clear();
+                        continue;
+                    }
+                    handle_line(trimmed, &engine, &pool)
+                };
+                line.clear();
+                // One write per response: a separate newline write would
+                // be a second small segment for Nagle to delay.
+                response.push('\n');
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_line(line: &str, engine: &Engine, pool: &WorkerPool) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            engine.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_response("bad_request", &e.to_string());
+        }
+    };
+    let (job, reply) = Job::new(request);
+    match pool.submit(job) {
+        Err(SubmitError::Overloaded) => {
+            engine
+                .metrics
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            error_response("overloaded", "job queue is full, retry later")
+        }
+        Err(SubmitError::ShuttingDown) => error_response("internal", "server is shutting down"),
+        // The queue deadline is enforced by the worker; this wait only
+        // bounds a wedged worker, so it is deliberately generous.
+        Ok(()) => match reply.recv_timeout(engine.deadline() + Duration::from_secs(60)) {
+            Ok(response) => response,
+            Err(_) => error_response("deadline", "timed out waiting for a worker"),
+        },
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// The engine, for in-process inspection (tests, stats).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Requests shutdown and blocks until all threads have drained.
+    pub fn shutdown(mut self) {
+        self.shutdown_and_join();
+    }
+
+    /// Blocks until the server stops on its own (e.g. a client sent the
+    /// `shutdown` command).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.engine.trigger_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}

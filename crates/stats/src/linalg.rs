@@ -289,8 +289,7 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         perm.swap(col, pivot);
         let p = perm[col];
         let diag = lu[p * n + col];
-        for row in (col + 1)..n {
-            let r = perm[row];
+        for &r in &perm[col + 1..n] {
             let factor = lu[r * n + col] / diag;
             lu[r * n + col] = factor;
             for j in (col + 1)..n {

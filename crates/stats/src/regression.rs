@@ -141,10 +141,10 @@ pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit, FitError> 
     let y_mean = y.iter().sum::<f64>() / rows as f64;
     let mut ss_res = 0.0;
     let mut ss_tot = 0.0;
-    for i in 0..rows {
+    for (i, &yi) in y.iter().enumerate().take(rows) {
         let pred: f64 = x.row(i).iter().zip(&beta).map(|(a, b)| a * b).sum();
-        ss_res += (y[i] - pred).powi(2);
-        ss_tot += (y[i] - y_mean).powi(2);
+        ss_res += (yi - pred).powi(2);
+        ss_tot += (yi - y_mean).powi(2);
     }
     let r_squared = if ss_tot > 0.0 {
         1.0 - ss_res / ss_tot

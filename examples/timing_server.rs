@@ -1,0 +1,60 @@
+//! Timing-as-a-service walkthrough: start the daemon in-process, register
+//! an ISCAS-style benchmark over TCP, query its worst paths and an
+//! extrapolated quantile, resize a gate through the incremental timer, and
+//! shut the server down — all through the newline-delimited JSON protocol.
+//!
+//! Run with: `cargo run --release -p nsigma --example timing_server`
+
+use nsigma::core::sta::TimerConfig;
+use nsigma_server::{Client, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A trimmed characterization keeps the example quick; production
+    // servers keep the 10 k-sample default and persist the coefficients
+    // with `coeff_path` so restarts skip this step entirely.
+    let mut timer = TimerConfig::standard(42);
+    timer.char_samples = 500;
+    timer.wire.nets = 1;
+    timer.wire.samples = 300;
+
+    println!("building the N-sigma timer (once, shared by all queries)...");
+    let handle = Server::start(ServerConfig {
+        threads: 2,
+        timer,
+        ..ServerConfig::default()
+    })?;
+    println!("listening on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr())?;
+    for line in [
+        r#"{"cmd":"register_design","name":"c432","iscas":"c432","seed":7}"#,
+        r#"{"cmd":"worst_paths","design":"c432","k":2}"#,
+        r#"{"cmd":"quantile","design":"c432","path":0,"sigma":4.5}"#,
+        r#"{"cmd":"stats"}"#,
+    ] {
+        println!("> {line}");
+        println!("< {}", client.request_line(line)?);
+    }
+
+    // An ECO resize goes through the incremental timer: only the affected
+    // cone is re-analyzed, and the response reports how much.
+    let wp = client.request_ok(r#"{"cmd":"worst_paths","design":"c432","k":1}"#)?;
+    let gate = wp.get("paths").unwrap().as_arr().unwrap()[0]
+        .get("gates")
+        .unwrap()
+        .as_arr()
+        .unwrap()[0]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let line = format!(r#"{{"cmd":"eco_resize","design":"c432","gate":"{gate}","strength":8}}"#);
+    println!("> {line}");
+    println!("< {}", client.request_line(&line)?);
+
+    let line = r#"{"cmd":"shutdown"}"#;
+    println!("> {line}");
+    println!("< {}", client.request_line(line)?);
+    handle.wait();
+    println!("server drained and stopped");
+    Ok(())
+}

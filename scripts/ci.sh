@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Offline-safe — all dependencies resolve
+# to in-repo path crates (compat/*), so no network is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

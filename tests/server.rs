@@ -1,0 +1,206 @@
+//! Integration test of the timing-query daemon: a real TCP server on an
+//! ephemeral port, concurrent clients, and bit-for-bit parity between
+//! remote answers and an in-process timer built from the same
+//! configuration.
+
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::TimerConfig;
+use nsigma_core::{IncrementalTimer, MergeRule, NsigmaTimer, YieldCurve};
+use nsigma_mc::design::Design;
+use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_netlist::{k_longest_paths_by, Path};
+use nsigma_process::Technology;
+use nsigma_server::{Client, Server, ServerConfig, Value};
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+
+const SEED: u64 = 11;
+const PARASITIC_SEED: u64 = 7;
+
+/// The shared timer configuration: small enough for a test, and built
+/// identically on both sides so answers must agree to the last bit.
+fn timer_config() -> TimerConfig {
+    let mut cfg = TimerConfig::standard(SEED);
+    cfg.char_samples = 300;
+    cfg.wire.nets = 1;
+    cfg.wire.samples = 200;
+    cfg
+}
+
+/// The same design the server generates for
+/// `{"iscas":"c432","seed":PARASITIC_SEED}`.
+fn local_design(tech: &Technology, lib: &CellLibrary) -> Design {
+    let netlist = map_to_cells(&Iscas85::C432.generate(), lib).expect("mapping");
+    Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, PARASITIC_SEED)
+}
+
+/// The server's worst-path ranking (same as `report_worst_paths`).
+fn ranked_paths(design: &Design, k: usize) -> Vec<Path> {
+    let weights: Vec<f64> = design
+        .netlist
+        .gate_ids()
+        .map(|g| {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            nsigma_cells::timing::nominal_arc(
+                &design.tech,
+                cell,
+                20e-12,
+                design.stage_effective_load(gate.output),
+            )
+            .delay
+        })
+        .collect();
+    k_longest_paths_by(&design.netlist, |g| weights[g.index()], k)
+}
+
+fn quantile_array(v: &Value) -> [f64; 7] {
+    let arr = v.as_arr().expect("quantiles must be an array");
+    assert_eq!(arr.len(), 7);
+    let mut out = [0.0; 7];
+    for (o, v) in out.iter_mut().zip(arr) {
+        *o = v.as_f64().expect("quantile must be a number");
+    }
+    out
+}
+
+#[test]
+fn concurrent_clients_get_bit_exact_answers() {
+    // One timer build shared by the server and the local reference.
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let local_timer = NsigmaTimer::build(&tech, &lib, &timer_config()).expect("local timer");
+    let reference = local_design(&tech, &lib);
+    let ref_paths = ranked_paths(&reference, 2);
+    let ref_quantiles: Vec<[f64; 7]> = ref_paths
+        .iter()
+        .map(|p| local_timer.analyze_path(&reference, p).quantiles.as_array())
+        .collect();
+
+    // Per-client ECO reference: each client registers its own copy of the
+    // design and resizes one distinct gate to strength 8.
+    let n_clients = 4;
+    let eco_gates: Vec<String> = (0..n_clients)
+        .map(|i| {
+            let gid = reference.netlist.gate_ids().nth(i * 7).expect("gate");
+            reference.netlist.gate(gid).name.clone()
+        })
+        .collect();
+    let eco_reference: Vec<[f64; 7]> = eco_gates
+        .iter()
+        .map(|name| {
+            let mut inc =
+                IncrementalTimer::new(&local_timer, reference.clone(), MergeRule::Pessimistic);
+            let gid = reference
+                .netlist
+                .gate_ids()
+                .find(|&g| reference.netlist.gate(g).name == *name)
+                .expect("gate by name");
+            inc.resize_gate(gid, 8).as_array()
+        })
+        .collect();
+
+    let handle = Server::start(ServerConfig {
+        threads: 4,
+        timer: timer_config(),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let port = handle.port();
+
+    std::thread::scope(|scope| {
+        for (i, gate) in eco_gates.iter().enumerate() {
+            let ref_quantiles = &ref_quantiles;
+            let eco_reference = &eco_reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+                let name = format!("c432-{i}");
+                let reg = client
+                    .request_ok(&format!(
+                        r#"{{"cmd":"register_design","name":"{name}","iscas":"c432","seed":{PARASITIC_SEED}}}"#
+                    ))
+                    .expect("register");
+                assert!(reg.get("gates").unwrap().as_u64().unwrap() > 0);
+
+                // worst_paths must match the local analysis bit for bit.
+                let wp = client
+                    .request_ok(&format!(r#"{{"cmd":"worst_paths","design":"{name}","k":2}}"#))
+                    .expect("worst_paths");
+                let paths = wp.get("paths").unwrap().as_arr().unwrap();
+                assert_eq!(paths.len(), ref_quantiles.len());
+                for (remote, local) in paths.iter().zip(ref_quantiles.iter()) {
+                    let remote_q = quantile_array(remote.get("quantiles").unwrap());
+                    for (r, l) in remote_q.iter().zip(local) {
+                        assert_eq!(r.to_bits(), l.to_bits(), "worst_paths drifted");
+                    }
+                }
+
+                // eco_resize through the incremental timer, same parity.
+                let eco = client
+                    .request_ok(&format!(
+                        r#"{{"cmd":"eco_resize","design":"{name}","gate":"{gate}","strength":8}}"#
+                    ))
+                    .expect("eco_resize");
+                let remote_q = quantile_array(eco.get("worst_quantiles").unwrap());
+                for (r, l) in remote_q.iter().zip(&eco_reference[i]) {
+                    assert_eq!(r.to_bits(), l.to_bits(), "eco_resize drifted");
+                }
+            });
+        }
+    });
+
+    // Fractional and integer sigma through the quantile endpoint.
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let q3 = client
+        .request_ok(r#"{"cmd":"quantile","design":"c432-0","path":0,"sigma":3}"#)
+        .expect("quantile sigma=3");
+    assert_eq!(
+        q3.get("delay").unwrap().as_f64().unwrap().to_bits(),
+        ref_quantiles[0][6].to_bits(),
+        "integer sigma must be the exact Table I quantile"
+    );
+    let q45 = client
+        .request_ok(r#"{"cmd":"quantile","design":"c432-0","path":0,"sigma":4.5}"#)
+        .expect("quantile sigma=4.5");
+    let q = QuantileSet::from_values(ref_quantiles[0]);
+    let local_45 = q[SigmaLevel::Zero] + YieldCurve::new(&q).margin(0.0, 4.5);
+    assert_eq!(
+        q45.get("delay").unwrap().as_f64().unwrap().to_bits(),
+        local_45.to_bits(),
+        "fractional sigma must match the local yield curve"
+    );
+
+    // Errors carry typed codes.
+    let missing = client
+        .request(r#"{"cmd":"worst_paths","design":"ghost"}"#)
+        .expect("response");
+    assert_eq!(missing.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(missing.get("code").unwrap().as_str(), Some("not_found"));
+    let bad = client.request("{broken").expect("response");
+    assert_eq!(bad.get("code").unwrap().as_str(), Some("bad_request"));
+
+    // Observability: the shared stage cache has hits (four identical
+    // designs analyzed the same cells), and the latency counters are sane.
+    let stats = client.request_ok(r#"{"cmd":"stats"}"#).expect("stats");
+    let cache = stats.get("stage_cache").unwrap();
+    assert!(
+        cache.get("hits").unwrap().as_u64().unwrap() > 0,
+        "stage cache must be hit across designs"
+    );
+    assert_eq!(stats.get("designs").unwrap().as_u64(), Some(4));
+    let metrics = stats.get("metrics").unwrap();
+    assert_eq!(metrics.get("bad_requests").unwrap().as_u64(), Some(1));
+    let wp = metrics.get("endpoints").unwrap().get("worst_paths").unwrap();
+    assert_eq!(wp.get("ok").unwrap().as_u64(), Some(4));
+    let p50 = wp.get("p50_us").unwrap().as_f64().unwrap();
+    let p99 = wp.get("p99_us").unwrap().as_f64().unwrap();
+    assert!(p50 >= 0.0 && p99 >= p50, "latency histogram must be ordered");
+    assert!(wp.get("mean_us").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(wp.get("errors").unwrap().as_u64(), Some(1)); // the ghost lookup
+
+    // Clean shutdown via the protocol: the server drains and the accept
+    // loop exits, so wait() returns.
+    let bye = client.request_ok(r#"{"cmd":"shutdown"}"#).expect("shutdown");
+    assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
+    handle.wait();
+}
