@@ -72,7 +72,10 @@ fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     };
     f(&mut b);
     let n = b.recorded.len();
-    println!("bench {name:<42} median {:>12.3?}  ({n} samples)", median(b.recorded));
+    println!(
+        "bench {name:<42} median {:>12.3?}  ({n} samples)",
+        median(b.recorded)
+    );
 }
 
 /// The harness entry point, as `criterion::Criterion`.

@@ -163,11 +163,7 @@ impl<T> Sender<T> {
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            state = self
-                .shared
-                .not_full
-                .wait(state)
-                .expect("channel poisoned");
+            state = self.shared.not_full.wait(state).expect("channel poisoned");
         }
     }
 
@@ -193,7 +189,12 @@ impl<T> Sender<T> {
 
     /// Messages currently buffered.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel poisoned").queue.len()
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
     }
 
     /// True when nothing is buffered.
@@ -240,11 +241,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self
-                .shared
-                .not_empty
-                .wait(state)
-                .expect("channel poisoned");
+            state = self.shared.not_empty.wait(state).expect("channel poisoned");
         }
     }
 
@@ -300,7 +297,12 @@ impl<T> Receiver<T> {
 
     /// Messages currently buffered.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel poisoned").queue.len()
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
     }
 
     /// True when nothing is buffered.
@@ -311,7 +313,11 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel poisoned").receivers += 1;
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
         Receiver {
             shared: self.shared.clone(),
         }

@@ -129,7 +129,12 @@ mod tests {
     fn design() -> Design {
         let tech = Technology::synthetic_28nm();
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Xor2, CellKind::Buf] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::Buf,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }

@@ -163,7 +163,12 @@ mod tests {
 
     fn lib() -> CellLibrary {
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Xor2, CellKind::Buf] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::Buf,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }
@@ -205,8 +210,7 @@ mod tests {
         // datapath: the error grows — the paper's core criticism.
         let tech = Technology::synthetic_28nm();
         let target = design_of(&ripple_subtractor(8), 2);
-        let timer =
-            CorrectionTimer::calibrate_on_inverter_chain(&tech, &lib(), 24, 1500, 7);
+        let timer = CorrectionTimer::calibrate_on_inverter_chain(&tech, &lib(), 24, 1500, 7);
         let _ = design_of(&ripple_adder(6), 1);
 
         let path = find_critical_path(&target).unwrap();

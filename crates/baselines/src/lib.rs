@@ -18,11 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod cell_fit;
-pub mod correction;
 pub mod corner;
+pub mod correction;
 pub mod ml;
 
 pub use cell_fit::{burr_quantiles, lsn_quantiles};
-pub use correction::CorrectionTimer;
 pub use corner::{CornerSta, CornerTiming};
+pub use correction::CorrectionTimer;
 pub use ml::{MlTimer, MlTrainConfig};

@@ -54,13 +54,7 @@ impl MlTrainConfig {
 ///
 /// Scaled so every feature is O(1): moments in ps/ps², caps in fF,
 /// resistance in kΩ.
-fn features(
-    tech: &Technology,
-    tree: &RcTree,
-    sink: usize,
-    driver: &Cell,
-    load: &Cell,
-) -> Vec<f64> {
+fn features(tech: &Technology, tree: &RcTree, sink: usize, driver: &Cell, load: &Cell) -> Vec<f64> {
     let loads: Vec<&Cell> = (0..tree.sinks().len()).map(|_| load).collect();
     let elm = elmore_with_pins(tech, tree, &loads)[sink];
     let (m1, m2) = moments_all(tree);
@@ -112,7 +106,8 @@ impl MlTimer {
                         &[&load],
                         &WireMcConfig {
                             samples: cfg.samples,
-                            seed: seeds.tagged_seed(((n * 64 + fi as usize) * 64 + fo as usize) as u64),
+                            seed: seeds
+                                .tagged_seed(((n * 64 + fi as usize) * 64 + fo as usize) as u64),
                             input_slew: 10e-12,
                             mode: WireGoldenMode::TwoPole,
                         },
@@ -216,7 +211,11 @@ mod tests {
         cfg.nets = 6;
         cfg.samples = 800;
         let ml = MlTimer::train(&tech, &cfg).unwrap();
-        assert!(ml.mean_fit.r_squared > 0.7, "R² = {}", ml.mean_fit.r_squared);
+        assert!(
+            ml.mean_fit.r_squared > 0.7,
+            "R² = {}",
+            ml.mean_fit.r_squared
+        );
 
         // Held-out net: mean within tens of percent (the method's accuracy
         // class on in-family nets).
@@ -266,6 +265,9 @@ mod tests {
         };
         let up = q[SigmaLevel::PlusThree] - q[SigmaLevel::Zero];
         let down = q[SigmaLevel::Zero] - q[SigmaLevel::MinusThree];
-        assert!((up - down).abs() < 1e-18, "Gaussian symmetry by construction");
+        assert!(
+            (up - down).abs() < 1e-18,
+            "Gaussian symmetry by construction"
+        );
     }
 }

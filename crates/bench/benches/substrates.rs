@@ -71,13 +71,7 @@ fn bench_characterization(c: &mut Criterion) {
     group.bench_function("one_grid_point_1000_samples", |b| {
         b.iter(|| {
             black_box(characterize_point(
-                &tech,
-                &variation,
-                &cell,
-                10e-12,
-                0.4e-15,
-                1000,
-                7,
+                &tech, &variation, &cell, 10e-12, 0.4e-15, 1000, 7,
             ))
         })
     });

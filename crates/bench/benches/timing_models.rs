@@ -25,7 +25,12 @@ struct Setup {
 fn setup() -> Setup {
     let tech = Technology::synthetic_28nm();
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }
@@ -62,12 +67,7 @@ fn bench_analysis_vs_mc(c: &mut Criterion) {
             |mut rng| {
                 let g = variation.sample_global(&mut rng);
                 black_box(sample_path(
-                    &s.design,
-                    &variation,
-                    &s.path,
-                    10e-12,
-                    &g,
-                    &mut rng,
+                    &s.design, &variation, &s.path, 10e-12, &g, &mut rng,
                 ))
             },
             BatchSize::SmallInput,

@@ -55,7 +55,11 @@ fn main() {
                 .abs();
         }
         let n = training.len() as f64;
-        t.row(&[name.into(), format!("{:.2}", lo / n), format!("{:.2}", hi / n)]);
+        t.row(&[
+            name.into(),
+            format!("{:.2}", lo / n),
+            format!("{:.2}", hi / n),
+        ]);
     }
     println!("{}", t.render());
 
@@ -78,8 +82,16 @@ fn main() {
         }
     }
     let nf = n as f64;
-    t.row(&["cubic (eq. 3)".into(), format!("{:.4}", g3 / nf), format!("{:.4}", k3 / nf)]);
-    t.row(&["bilinear (ablated)".into(), format!("{:.4}", g2 / nf), format!("{:.4}", k2 / nf)]);
+    t.row(&[
+        "cubic (eq. 3)".into(),
+        format!("{:.4}", g3 / nf),
+        format!("{:.4}", k3 / nf),
+    ]);
+    t.row(&[
+        "bilinear (ablated)".into(),
+        format!("{:.4}", g2 / nf),
+        format!("{:.4}", k2 / nf),
+    ]);
     println!("{}", t.render());
 
     // --- Ablation 3: wire variability composition. ---

@@ -38,7 +38,12 @@ fn main() {
     // The paper's five example circuits are the calibration circuits.
     let seeds = SeedStream::new(calib.seed);
     let strengths = [1u32, 2, 4, 8];
-    let mut t = Table::new(&["net", "-3s err % (ours)", "+3s err % (ours)", "+3s err % (Elmore)"]);
+    let mut t = Table::new(&[
+        "net",
+        "-3s err % (ours)",
+        "+3s err % (ours)",
+        "+3s err % (Elmore)",
+    ]);
     let (mut lo_sum, mut hi_sum, mut el_sum, mut n) = (0.0, 0.0, 0.0, 0);
     for net_idx in 0..5u64 {
         let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(net_idx));

@@ -11,7 +11,10 @@ use nsigma_stats::quantile::SigmaLevel;
 fn main() {
     const MC_SAMPLES: usize = 4000;
     let suite = iscas_suite();
-    let c432 = suite.iter().find(|b| b.name == "c432").expect("c432 in suite");
+    let c432 = suite
+        .iter()
+        .find(|b| b.name == "c432")
+        .expect("c432 in suite");
     let design = &c432.design;
     let tech = &design.tech;
 
@@ -20,16 +23,26 @@ fn main() {
 
     let path = find_critical_path(design).expect("c432 critical path");
     println!("== Fig. 11: +3σ error of each wire on the c432 critical path ==");
-    println!("path: {} stages; golden: {MC_SAMPLES} transient MC samples per wire\n", path.len());
+    println!(
+        "path: {} stages; golden: {MC_SAMPLES} transient MC samples per wire\n",
+        path.len()
+    );
 
     let mut t = Table::new(&[
-        "wire", "driver", "load", "golden +3s (ps)", "Elmore err %", "N-sigma err %",
+        "wire",
+        "driver",
+        "load",
+        "golden +3s (ps)",
+        "Elmore err %",
+        "N-sigma err %",
     ]);
     let (mut e_sum, mut m_sum, mut n) = (0.0, 0.0, 0);
     for (k, &g) in path.gates.iter().enumerate() {
         let gate = design.netlist.gate(g);
         let net = gate.output;
-        let Some(tree) = design.parasitic(net) else { continue };
+        let Some(tree) = design.parasitic(net) else {
+            continue;
+        };
         if tree.sinks().is_empty() {
             continue;
         }

@@ -23,7 +23,13 @@ fn main() {
     println!("{SAMPLES} MC samples per voltage, FO4-like load, 10 ps input slew\n");
 
     let mut table = Table::new(&[
-        "Vdd (V)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis", "-3s (ps)", "+3s (ps)",
+        "Vdd (V)",
+        "mean (ps)",
+        "sigma (ps)",
+        "skewness",
+        "kurtosis",
+        "-3s (ps)",
+        "+3s (ps)",
         "gauss +3s",
     ]);
 

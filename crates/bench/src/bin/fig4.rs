@@ -26,7 +26,13 @@ fn main() {
         seed: 4,
     };
     let grid = characterize_cell(&tech, &cell, &slew_cfg);
-    let mut t = Table::new(&["slew (ps)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis"]);
+    let mut t = Table::new(&[
+        "slew (ps)",
+        "mean (ps)",
+        "sigma (ps)",
+        "skewness",
+        "kurtosis",
+    ]);
     for p in grid.iter() {
         t.row(&[
             format!("{:.0}", p.slew * 1e12),
@@ -47,7 +53,13 @@ fn main() {
         seed: 5,
     };
     let grid = characterize_cell(&tech, &cell, &load_cfg);
-    let mut t = Table::new(&["load (fF)", "mean (ps)", "sigma (ps)", "skewness", "kurtosis"]);
+    let mut t = Table::new(&[
+        "load (fF)",
+        "mean (ps)",
+        "sigma (ps)",
+        "skewness",
+        "kurtosis",
+    ]);
     for p in grid.iter() {
         t.row(&[
             format!("{:.1}", p.load * 1e15),

@@ -51,7 +51,10 @@ fn main() {
     let q = &res[0].quantiles;
 
     println!("golden wire delay distribution:");
-    print!("{}", Histogram::from_samples(res[0].samples(), 28).to_ascii(50));
+    print!(
+        "{}",
+        Histogram::from_samples(res[0].samples(), 28).to_ascii(50)
+    );
     println!();
     println!("T_Elmore (eq. 4, pins included) = {} ps", ps(elmore));
     println!(

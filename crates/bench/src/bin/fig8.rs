@@ -29,7 +29,13 @@ fn main() {
     );
 
     let mut t = Table::new(&[
-        "driver", "load", "mean (ps)", "sigma (ps)", "sigma/mu", "-3s (ps)", "+3s (ps)",
+        "driver",
+        "load",
+        "mean (ps)",
+        "sigma (ps)",
+        "sigma/mu",
+        "-3s (ps)",
+        "+3s (ps)",
     ]);
     for &fi in &[1u32, 2, 4] {
         for &fo in &[1u32, 2, 4] {

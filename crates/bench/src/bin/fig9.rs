@@ -10,9 +10,7 @@
 
 use nsigma_bench::Table;
 use nsigma_cells::cell::{Cell, CellKind};
-use nsigma_core::wire_model::{
-    check_cell_coefficients, WireCalibConfig, WireVariabilityModel,
-};
+use nsigma_core::wire_model::{check_cell_coefficients, WireCalibConfig, WireVariabilityModel};
 use nsigma_interconnect::generator::random_net;
 use nsigma_mc::wire_sim::{simulate_wire_mc, WireGoldenMode, WireMcConfig};
 use nsigma_process::Technology;
@@ -42,7 +40,10 @@ fn main() {
         avg += c.error_pct();
     }
     println!("{}", t.render());
-    println!("average law error over the FO ladder: {:.2}%\n", avg / checks.len() as f64);
+    println!(
+        "average law error over the FO ladder: {:.2}%\n",
+        avg / checks.len() as f64
+    );
 
     println!("== Fig. 9 (part 2): fitted X_w vs measured on the five calibration nets ==");
     println!("(the paper's metric: fit error per strength point, averaged over its RC examples)\n");
@@ -61,7 +62,13 @@ fn main() {
     let strengths = [1u32, 2, 4, 8];
     let mut fi_err = 0.0;
     let mut fo_err = 0.0;
-    let mut t = Table::new(&["sweep", "strength", "Xw measured (net-avg)", "Xw model", "error %"]);
+    let mut t = Table::new(&[
+        "sweep",
+        "strength",
+        "Xw measured (net-avg)",
+        "Xw model",
+        "error %",
+    ]);
     for &s in &strengths {
         for (sweep, driver_s, load_s) in [("FI", s, 4u32), ("FO", 4u32, s)] {
             let driver = Cell::new(CellKind::Inv, driver_s);
@@ -77,7 +84,8 @@ fn main() {
                     &[&load],
                     &WireMcConfig {
                         samples: 4000,
-                        seed: seeds.tagged_seed(7000 + i as u64 * 100 + (driver_s * 10 + load_s) as u64),
+                        seed: seeds
+                            .tagged_seed(7000 + i as u64 * 100 + (driver_s * 10 + load_s) as u64),
                         input_slew: 10e-12,
                         mode: WireGoldenMode::TwoPole,
                     },

@@ -4,8 +4,8 @@
 
 use nsigma_bench::Table;
 use nsigma_cells::cell::{Cell, CellKind};
-use nsigma_cells::CellLibrary;
 use nsigma_cells::timing::sample_arc;
+use nsigma_cells::CellLibrary;
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
@@ -53,7 +53,11 @@ fn main() {
     .quantiles;
 
     let mut t = Table::new(&[
-        "samples", "cell -3s err %", "cell +3s err %", "path -3s err %", "path +3s err %",
+        "samples",
+        "cell -3s err %",
+        "cell +3s err %",
+        "path -3s err %",
+        "path +3s err %",
     ]);
     for &n in &[500usize, 1000, 2000, 5000, 10_000, 20_000, 50_000] {
         let cq = cell_quantiles(&tech, n, 100 + n as u64);

@@ -3,8 +3,8 @@
 //! NOR2/NAND2/AOI2 × x1/x2/x4/x8 at the FO4 condition, against 10 k-sample
 //! golden Monte Carlo.
 
-use nsigma_bench::Table;
 use nsigma_baselines::cell_fit::{burr_quantiles, lsn_quantiles};
+use nsigma_bench::Table;
 use nsigma_cells::cell::{Cell, CellKind};
 use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
 use nsigma_cells::timing::sample_arc;

@@ -13,8 +13,8 @@
 //!   inverter-chain reference (per \[8\]);
 //! * Ours — the N-sigma timer (Table I + eqs. 1–3 + eqs. 5–9 + eq. 10).
 
-use nsigma_baselines::correction::CorrectionTimer;
 use nsigma_baselines::corner::CornerSta;
+use nsigma_baselines::correction::CorrectionTimer;
 use nsigma_baselines::ml::{MlTimer, MlTrainConfig};
 use nsigma_bench::{err_pct, full_suite, ns, Table};
 use nsigma_cells::CellLibrary;
@@ -57,13 +57,12 @@ fn main() {
 
     let suite = full_suite();
     eprintln!("calibrating correction factors on the simple inverter chain (per [8])...");
-    let correction =
-        CorrectionTimer::calibrate_on_inverter_chain(&tech, &lib, 32, 3000, 0xC0);
+    let correction = CorrectionTimer::calibrate_on_inverter_chain(&tech, &lib, 32, 3000, 0xC0);
 
     println!("== Table III: path analysis, golden MC vs PT vs ML vs Correction vs Ours ==\n");
     let mut t = Table::new(&[
-        "Path", "#Nets", "#Cells", "MC -3s", "MC +3s", "PT", "ML", "Corr", "Ours -3s",
-        "Ours +3s", "PT%", "ML%", "Corr%", "Ours-3s%", "Ours+3s%", "tMC(s)", "tOurs(s)",
+        "Path", "#Nets", "#Cells", "MC -3s", "MC +3s", "PT", "ML", "Corr", "Ours -3s", "Ours +3s",
+        "PT%", "ML%", "Corr%", "Ours-3s%", "Ours+3s%", "tMC(s)", "tOurs(s)",
     ]);
 
     let mut err_sums = [0.0f64; 5];

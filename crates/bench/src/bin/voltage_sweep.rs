@@ -19,7 +19,12 @@ use nsigma_stats::quantile::SigmaLevel;
 
 fn main() {
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }
@@ -29,13 +34,17 @@ fn main() {
     println!("16-bit adder critical path, timer rebuilt per voltage, 4000-sample golden MC\n");
 
     let mut t = Table::new(&[
-        "Vdd (V)", "path CV", "skew", "-3s err %", "median err %", "+3s err %",
+        "Vdd (V)",
+        "path CV",
+        "skew",
+        "-3s err %",
+        "median err %",
+        "+3s err %",
     ]);
     for &vdd in &[0.5, 0.6, 0.7, 0.8] {
         let tech = Technology::synthetic_28nm().with_vdd(vdd);
         let netlist = map_to_cells(&ripple_adder(16), &lib).expect("maps");
-        let design =
-            Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 0x55EE);
+        let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 0x55EE);
 
         let mut cfg = TimerConfig::standard(0x500 + (vdd * 100.0) as u64);
         cfg.char_samples = 4000;

@@ -22,7 +22,12 @@ use nsigma_stats::quantile::SigmaLevel;
 fn main() {
     let tech = Technology::synthetic_28nm();
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }
@@ -60,9 +65,8 @@ fn main() {
         SigmaLevel::PlusThree,
     ] {
         let deadline = golden.quantiles[lvl];
-        let mc_yield =
-            golden.samples().iter().filter(|&&x| x <= deadline).count() as f64
-                / golden.len() as f64;
+        let mc_yield = golden.samples().iter().filter(|&&x| x <= deadline).count() as f64
+            / golden.len() as f64;
         t.row(&[
             ps(deadline),
             format!("{:.5}", curve.yield_at(deadline)),

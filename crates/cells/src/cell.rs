@@ -233,9 +233,7 @@ mod tests {
         let inv = Cell::new(CellKind::Inv, 2);
         let nand = Cell::new(CellKind::Nand2, 2);
         // Balanced stacks drive like the same-strength inverter…
-        assert!(
-            (nand.drive_resistance(&t) / inv.drive_resistance(&t) - 1.0).abs() < 1e-9
-        );
+        assert!((nand.drive_resistance(&t) / inv.drive_resistance(&t) - 1.0).abs() < 1e-9);
         // …and their effective mismatch is smaller (wider devices + stack
         // averaging), the Pelgrom behaviour eq. (5) builds on.
         assert!(

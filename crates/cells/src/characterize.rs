@@ -187,19 +187,26 @@ pub fn characterize_cell_threads(
         let n_threads = threads.max(1).min(chunks.len().max(1));
         let mut handles = Vec::new();
         for t in 0..n_threads {
-            let my: Vec<(usize, f64, f64)> = chunks
-                .iter()
-                .copied()
-                .skip(t)
-                .step_by(n_threads)
-                .collect();
+            let my: Vec<(usize, f64, f64)> =
+                chunks.iter().copied().skip(t).step_by(n_threads).collect();
             let variation = &variation;
             let seeds = &seeds;
             handles.push(scope.spawn(move |_| {
                 my.into_iter()
                     .map(|(idx, slew, load)| {
                         let point_seed = seeds.tagged_seed(idx as u64);
-                        (idx, characterize_point(tech, variation, cell, slew, load, cfg.samples, point_seed))
+                        (
+                            idx,
+                            characterize_point(
+                                tech,
+                                variation,
+                                cell,
+                                slew,
+                                load,
+                                cfg.samples,
+                                point_seed,
+                            ),
+                        )
                     })
                     .collect::<Vec<_>>()
             }));

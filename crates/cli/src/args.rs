@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn required_and_bad_number() {
         let a = Args::parse(argv("analyze --samples abc")).unwrap();
-        assert_eq!(a.require("verilog"), Err(ArgsError::Required("verilog".into())));
+        assert_eq!(
+            a.require("verilog"),
+            Err(ArgsError::Required("verilog".into()))
+        );
         assert!(matches!(
             a.get_usize("samples", 10),
             Err(ArgsError::BadNumber(_, _))

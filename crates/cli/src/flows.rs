@@ -131,8 +131,8 @@ pub fn run_analyze(args: &Args) -> Result<String, FlowError> {
 
     let mut out = String::new();
     if k <= 1 {
-        let path = find_critical_path(&design)
-            .ok_or_else(|| err("design has no combinational path"))?;
+        let path =
+            find_critical_path(&design).ok_or_else(|| err("design has no combinational path"))?;
         let timing = timer.analyze_path(&design, &path);
         out.push_str(&report_path(&design, &path, &timing, clock));
     } else {
@@ -159,8 +159,8 @@ pub fn run_mc(args: &Args) -> Result<String, FlowError> {
     let design = load_design(args, &tech)?;
     let samples = args.get_usize("samples", 5000)?;
     let seed = args.get_usize("seed", 7)? as u64;
-    let path = find_critical_path(&design)
-        .ok_or_else(|| err("design has no combinational path"))?;
+    let path =
+        find_critical_path(&design).ok_or_else(|| err("design has no combinational path"))?;
     let golden = simulate_path_mc(
         &design,
         &path,

@@ -282,10 +282,10 @@ mod tests {
         for p in g.iter() {
             let mc = cubic.moments_at(p.slew, p.load);
             let mb = bilinear.moments_at(p.slew, p.load);
-            err_cubic += (mc.skewness - p.moments.skewness).abs()
-                + (mc.kurtosis - p.moments.kurtosis).abs();
-            err_bilinear += (mb.skewness - p.moments.skewness).abs()
-                + (mb.kurtosis - p.moments.kurtosis).abs();
+            err_cubic +=
+                (mc.skewness - p.moments.skewness).abs() + (mc.kurtosis - p.moments.kurtosis).abs();
+            err_bilinear +=
+                (mb.skewness - p.moments.skewness).abs() + (mb.kurtosis - p.moments.kurtosis).abs();
         }
         assert!(
             err_cubic <= err_bilinear,

@@ -79,7 +79,8 @@ pub fn write_coefficients(timer: &NsigmaTimer) -> String {
         mean[0], mean[1], mean[2], rfo4
     )
     .expect("write");
-    let mut measured: Vec<(&String, &f64)> = timer.wire_model().measured_coefficients().iter().collect();
+    let mut measured: Vec<(&String, &f64)> =
+        timer.wire_model().measured_coefficients().iter().collect();
     measured.sort_by(|a, b| a.0.cmp(b.0));
     for (name, x) in measured {
         writeln!(out, "WIRE-CELL {name} {x:e}").expect("write");
@@ -158,9 +159,11 @@ pub fn read_coefficients(tech: &Technology, text: &str) -> Result<NsigmaTimer, P
             }
             "QMODEL" => {
                 let vals = nums.map_err(|_| ParseCoeffError::BadRecord(lineno))?;
-                let n = vals.first().copied().ok_or(ParseCoeffError::BadRecord(lineno))? as i32;
-                let level =
-                    SigmaLevel::from_n(n).ok_or(ParseCoeffError::BadRecord(lineno))?;
+                let n = vals
+                    .first()
+                    .copied()
+                    .ok_or(ParseCoeffError::BadRecord(lineno))? as i32;
+                let level = SigmaLevel::from_n(n).ok_or(ParseCoeffError::BadRecord(lineno))?;
                 qcoeffs[level.index()] = Some(vals[1..].to_vec());
             }
             "WIRE-XW" => wire_xw = Some(all(&nums, lineno, 3)?),
@@ -222,8 +225,9 @@ pub fn read_coefficients(tech: &Technology, text: &str) -> Result<NsigmaTimer, P
                 let name = current_cell
                     .take()
                     .ok_or(ParseCoeffError::BadRecord(lineno))?;
-                let (s_ref, c_ref, reference, oref) =
-                    cell_ref.take().ok_or(ParseCoeffError::MissingSection("REF"))?;
+                let (s_ref, c_ref, reference, oref) = cell_ref
+                    .take()
+                    .ok_or(ParseCoeffError::MissingSection("REF"))?;
                 let mut take = |k: &'static str| {
                     cell_fields
                         .remove(k)

@@ -215,7 +215,10 @@ mod tests {
             let truth = quantile_sorted(&sorted, p);
             let cf = cornish_fisher_quantile(&m, n);
             let rel = ((cf - truth) / truth).abs();
-            assert!(rel < 0.04, "n={n}: CF {cf:.2} vs truth {truth:.2} ({rel:.3})");
+            assert!(
+                rel < 0.04,
+                "n={n}: CF {cf:.2} vs truth {truth:.2} ({rel:.3})"
+            );
         }
     }
 

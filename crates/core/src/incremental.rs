@@ -8,8 +8,8 @@
 //! drivers of its fanin nets (their loads changed), and everything
 //! downstream of a net whose arrival actually moved.
 
-use crate::stat_max::MergeRule;
 use crate::sta::NsigmaTimer;
+use crate::stat_max::MergeRule;
 use nsigma_mc::design::Design;
 use nsigma_netlist::ir::{GateId, NetDriver, NetId};
 use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
@@ -203,8 +203,7 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
         let (wire_q, wire_mean) = match design.parasitic(net) {
             Some(tree) if !tree.sinks().is_empty() => {
                 let loads = design.load_cells(net);
-                let bases =
-                    crate::wire_model::nominal_wire_means(&design.tech, tree, &loads, cell);
+                let bases = crate::wire_model::nominal_wire_means(&design.tech, tree, &loads, cell);
                 let pos = bases
                     .iter()
                     .enumerate()
@@ -250,7 +249,12 @@ mod tests {
     fn setup() -> (NsigmaTimer, Design) {
         let tech = Technology::synthetic_28nm();
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }

@@ -70,10 +70,10 @@ pub mod stat_max;
 pub mod wire_model;
 
 pub use calibration::{MomentCalibration, C_REF, S_REF};
-pub use extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
 pub use cell_model::CellQuantileModel;
 pub use coeff_store::{read_coefficients, write_coefficients};
-pub use sta::{NsigmaTimer, PathTiming, StageTiming, TimerConfig};
+pub use extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
 pub use incremental::IncrementalTimer;
+pub use sta::{NsigmaTimer, PathTiming, StageTiming, TimerConfig};
 pub use stat_max::{clark_max, MergeRule};
 pub use wire_model::{cell_coefficient, WireCalibConfig, WireVariabilityModel};

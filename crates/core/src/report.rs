@@ -44,12 +44,19 @@ pub fn report_path(
     clock_period: Option<f64>,
 ) -> String {
     let mut out = String::new();
-    writeln!(out, "Startpoint: {} (primary input cone)", design.netlist.net(path.nets[0]).name)
-        .expect("write");
+    writeln!(
+        out,
+        "Startpoint: {} (primary input cone)",
+        design.netlist.net(path.nets[0]).name
+    )
+    .expect("write");
     writeln!(
         out,
         "Endpoint:   {} (primary output)",
-        design.netlist.net(*path.nets.last().expect("non-empty path")).name
+        design
+            .netlist
+            .net(*path.nets.last().expect("non-empty path"))
+            .name
     )
     .expect("write");
     writeln!(out, "Path type:  max (late), N-sigma statistical\n").expect("write");
@@ -135,8 +142,14 @@ pub fn report_worst_paths(
     let mut out = String::new();
     for (i, path) in paths.iter().enumerate() {
         let timing = timer.analyze_path(design, path);
-        writeln!(out, "==== path {} of {} ({} stages) ====", i + 1, paths.len(), path.len())
-            .expect("write");
+        writeln!(
+            out,
+            "==== path {} of {} ({} stages) ====",
+            i + 1,
+            paths.len(),
+            path.len()
+        )
+        .expect("write");
         out.push_str(&report_path(design, path, &timing, clock_period));
         out.push('\n');
     }
@@ -157,7 +170,12 @@ mod tests {
     fn setup() -> (NsigmaTimer, Design) {
         let tech = Technology::synthetic_28nm();
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }
@@ -180,7 +198,13 @@ mod tests {
         let report = report_path(&design, &path, &timing, Some(5e-9));
         assert!(report.contains("Startpoint:"));
         assert!(report.contains("Endpoint:"));
-        assert!(report.lines().filter(|l| l.contains("NAND2") || l.contains("XOR2")).count() >= 2);
+        assert!(
+            report
+                .lines()
+                .filter(|l| l.contains("NAND2") || l.contains("XOR2"))
+                .count()
+                >= 2
+        );
         assert!(report.contains("T(+3σ)"));
         assert!(report.contains("slack"));
         // A generous clock meets timing.

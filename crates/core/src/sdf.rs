@@ -61,7 +61,9 @@ pub fn write_sdf(timer: &NsigmaTimer, design: &Design) -> String {
     // convention (the same one the golden and the Design calibration use).
     let port_driver = crate::sta::fo4_cell();
     for &net in design.netlist.inputs() {
-        let Some(tree) = design.parasitic(net) else { continue };
+        let Some(tree) = design.parasitic(net) else {
+            continue;
+        };
         if tree.sinks().is_empty() {
             continue;
         }
@@ -111,13 +113,7 @@ pub fn write_sdf(timer: &NsigmaTimer, design: &Design) -> String {
         writeln!(out, "    (INSTANCE {})", sanitize(&gate.name)).expect("write");
         writeln!(out, "    (DELAY (ABSOLUTE").expect("write");
         for (pin, _) in gate.inputs.iter().enumerate() {
-            writeln!(
-                out,
-                "      (IOPATH A{} Y {})",
-                pin + 1,
-                triplet(&cell_q)
-            )
-            .expect("write");
+            writeln!(out, "      (IOPATH A{} Y {})", pin + 1, triplet(&cell_q)).expect("write");
         }
         out.push_str("    ))\n  )\n");
 
@@ -126,13 +122,8 @@ pub fn write_sdf(timer: &NsigmaTimer, design: &Design) -> String {
             if !tree.sinks().is_empty() {
                 let loads = design.load_cells(net);
                 for (pos, &(lg, lpin)) in design.netlist.net(net).loads.iter().enumerate() {
-                    let base = crate::wire_model::nominal_wire_mean(
-                        &design.tech,
-                        tree,
-                        &loads,
-                        cell,
-                        pos,
-                    );
+                    let base =
+                        crate::wire_model::nominal_wire_mean(&design.tech, tree, &loads, cell, pos);
                     let q = timer.wire_model().wire_quantiles(base, cell, loads[pos]);
                     let load_gate = design.netlist.gate(lg);
                     writeln!(
@@ -166,7 +157,13 @@ fn triplet(q: &QuantileSet) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -183,7 +180,12 @@ mod tests {
     fn setup() -> (NsigmaTimer, Design) {
         let tech = Technology::synthetic_28nm();
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }
@@ -206,12 +208,7 @@ mod tests {
         assert!(sdf.trim_end().ends_with(')'));
         // One CELL block per gate plus interconnect blocks per loaded sink.
         let iopath_count = sdf.matches("(IOPATH").count();
-        let expected_iopaths: usize = design
-            .netlist
-            .gates()
-            .iter()
-            .map(|g| g.inputs.len())
-            .sum();
+        let expected_iopaths: usize = design.netlist.gates().iter().map(|g| g.inputs.len()).sum();
         assert_eq!(iopath_count, expected_iopaths);
         let interconnects = sdf.matches("(INTERCONNECT").count();
         let expected_wires: usize = design

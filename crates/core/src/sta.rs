@@ -260,9 +260,19 @@ impl NsigmaTimer {
     /// # Panics
     ///
     /// Panics if the timer has no calibration for `cell_name`.
-    pub fn stage_cell_quantiles(&self, cell_name: &str, slew: f64, load: f64) -> (QuantileSet, f64) {
+    pub fn stage_cell_quantiles(
+        &self,
+        cell_name: &str,
+        slew: f64,
+        load: f64,
+    ) -> (QuantileSet, f64) {
         let key: StageKey = (cell_name.to_string(), slew.to_bits(), load.to_bits());
-        if let Some(&cached) = self.stage_cache.read().expect("stage cache poisoned").get(&key) {
+        if let Some(&cached) = self
+            .stage_cache
+            .read()
+            .expect("stage cache poisoned")
+            .get(&key)
+        {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
@@ -337,7 +347,8 @@ impl NsigmaTimer {
 
             let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), slew, load);
 
-            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, path.gates.get(k + 1).copied());
+            let (wire_q, wire_mean) =
+                self.stage_wire_quantiles(design, net, cell, path.gates.get(k + 1).copied());
 
             total = total.add(&cell_q).add(&wire_q);
             stages.push(StageTiming {
@@ -570,9 +581,7 @@ pub fn used_cells(design: &Design) -> Vec<Cell> {
     names.dedup();
     names
         .into_iter()
-        .filter_map(|n| {
-            design.lib.find(n).map(|id| design.lib.cell(id).clone())
-        })
+        .filter_map(|n| design.lib.find(n).map(|id| design.lib.cell(id).clone()))
         .collect()
 }
 
@@ -593,7 +602,12 @@ mod tests {
     /// build under a second.
     fn small_lib() -> CellLibrary {
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Xor2, CellKind::Buf] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::Buf,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }
@@ -634,7 +648,11 @@ mod tests {
             },
         );
 
-        for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+        for lvl in [
+            SigmaLevel::MinusThree,
+            SigmaLevel::Zero,
+            SigmaLevel::PlusThree,
+        ] {
             let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl])
                 .abs()
                 * 100.0;
@@ -644,7 +662,11 @@ mod tests {
             // global Table I coefficients only partly capture — so it gets
             // the wider unit-test budget (the full-budget numbers are in
             // the table3 binary).
-            let tol = if lvl == SigmaLevel::MinusThree { 18.0 } else { 12.0 };
+            let tol = if lvl == SigmaLevel::MinusThree {
+                18.0
+            } else {
+                12.0
+            };
             assert!(
                 rel < tol,
                 "{lvl}: model {:.1} ps vs golden {:.1} ps ({rel:.1}%)",

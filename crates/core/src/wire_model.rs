@@ -152,11 +152,7 @@ impl WireCalibConfig {
 /// Elmore delay at each sink of `tree` with the load-pin capacitances
 /// folded in — the paper's `T_Elmore` over the full net parasitics
 /// (eq. 4), including the pins the router sees.
-pub fn elmore_with_pins(
-    tech: &Technology,
-    tree: &RcTree,
-    loads: &[&Cell],
-) -> Vec<f64> {
+pub fn elmore_with_pins(tech: &Technology, tree: &RcTree, loads: &[&Cell]) -> Vec<f64> {
     let mut loaded = tree.clone();
     for (k, &sink) in tree.sinks().iter().enumerate() {
         loaded.add_cap(sink, loads[k].input_cap(tech));
@@ -231,8 +227,10 @@ fn nominal_anchor(tech: &Technology, tree: &RcTree, driver: &Cell, load: &Cell) 
     let reference = simulate_ramp(&loaded, &cfg);
     let (folded, _root_img, sinks) = fold_driver(&loaded, rd);
     let (m1, m2) = moments_all(&folded);
-    let tp = two_pole_delay(m1[sinks[0].index()].max(1e-18), m2[sinks[0].index()].max(1e-33))
-        - cell_step;
+    let tp = two_pole_delay(
+        m1[sinks[0].index()].max(1e-18),
+        m2[sinks[0].index()].max(1e-33),
+    ) - cell_step;
     let tr = reference.sink_cross[0] - cell_ramp;
     if tp.abs() < 0.02e-12 || tr.abs() < 0.02e-12 {
         1.0
@@ -272,7 +270,12 @@ impl WireVariabilityModel {
     pub fn calibrate(tech: &Technology, cfg: &WireCalibConfig) -> Result<Self, FitError> {
         let seeds = SeedStream::new(cfg.seed);
         let fo4 = Cell::new(CellKind::Inv, 4);
-        let r_fo4 = measure_cell_variability(tech, &fo4, cfg.samples.max(4000), seeds.tagged_seed(u64::MAX));
+        let r_fo4 = measure_cell_variability(
+            tech,
+            &fo4,
+            cfg.samples.max(4000),
+            seeds.tagged_seed(u64::MAX),
+        );
 
         let mut xw_rows = Vec::new();
         let mut xw_y = Vec::new();
@@ -291,7 +294,8 @@ impl WireVariabilityModel {
                     let base_mean = nominal_wire_mean(tech, &tree, &[&load], &driver, 0);
                     let mc_cfg = WireMcConfig {
                         samples: cfg.samples,
-                        seed: seeds.tagged_seed(((net_idx * 64 + fi as usize) * 64 + fo as usize) as u64),
+                        seed: seeds
+                            .tagged_seed(((net_idx * 64 + fi as usize) * 64 + fo as usize) as u64),
                         input_slew: cfg.input_slew,
                         mode: cfg.mode,
                     };
@@ -399,8 +403,7 @@ impl WireVariabilityModel {
     fn eval_xw(&self, coeffs: &[f64], driver: &Cell, load: &Cell) -> f64 {
         let x_fi = self.coefficient(driver);
         let x_fo = self.coefficient(load);
-        (coeffs[0] + coeffs[1] * x_fi * self.r_fo4 + coeffs[2] * x_fo * self.r_fo4)
-            .clamp(0.0, 2.0)
+        (coeffs[0] + coeffs[1] * x_fi * self.r_fo4 + coeffs[2] * x_fo * self.r_fo4).clamp(0.0, 2.0)
     }
 
     /// Predicts the calibrated mean wire delay (s) from the nominal
@@ -409,8 +412,7 @@ impl WireVariabilityModel {
     pub fn predict_mean(&self, base_mean: f64, driver: &Cell, load: &Cell) -> f64 {
         let x_fi = self.coefficient(driver);
         let x_fo = self.coefficient(load);
-        let ratio =
-            self.mean_coeffs[0] + self.mean_coeffs[1] * x_fi + self.mean_coeffs[2] * x_fo;
+        let ratio = self.mean_coeffs[0] + self.mean_coeffs[1] * x_fi + self.mean_coeffs[2] * x_fo;
         base_mean * ratio
     }
 
@@ -430,7 +432,12 @@ impl WireVariabilityModel {
     }
 
     /// The paper's literal symmetric eq. (9) — the ablation variant.
-    pub fn wire_quantiles_symmetric(&self, base_mean: f64, driver: &Cell, load: &Cell) -> QuantileSet {
+    pub fn wire_quantiles_symmetric(
+        &self,
+        base_mean: f64,
+        driver: &Cell,
+        load: &Cell,
+    ) -> QuantileSet {
         let mu = self.predict_mean(base_mean, driver, load);
         let xw = self.predict_xw(driver, load);
         QuantileSet::from_fn(|lvl| (1.0 + lvl.n() as f64 * xw) * mu)
@@ -595,7 +602,11 @@ mod tests {
             // variability more for weak cells. The analysis flow therefore
             // uses *measured* per-cell coefficients; the law is the
             // documented approximation it falls back to.
-            let tol = if c.cell.starts_with("INV") { 22.0 } else { 30.0 };
+            let tol = if c.cell.starts_with("INV") {
+                22.0
+            } else {
+                30.0
+            };
             assert!(
                 c.error_pct() < tol,
                 "{}: theory {:.3} vs measured {:.3} ({:.1}%)",
@@ -693,4 +704,3 @@ mod tests {
         );
     }
 }
-

@@ -113,11 +113,7 @@ pub fn generate_net<R: Rng + ?Sized>(rng: &mut R, cfg: &NetGenConfig) -> RcTree 
         let seg = branch_len / cfg.branch_segments as f64;
         for _ in 0..cfg.branch_segments {
             let jitter = (0.8 + 0.4 * rng.gen::<f64>()) * seg;
-            b = tree.add_node(
-                b,
-                (cfg.res_per_m * jitter).max(0.1),
-                cfg.cap_per_m * jitter,
-            );
+            b = tree.add_node(b, (cfg.res_per_m * jitter).max(0.1), cfg.cap_per_m * jitter);
         }
         tree.mark_sink(b);
     }

@@ -40,8 +40,8 @@ pub mod transient;
 
 pub use elmore::{elmore_all, elmore_delay, moments_all};
 pub use generator::{generate_net, random_net, NetGenConfig};
-pub use metrics::{d2m_delay, two_pole_delay};
 pub use mesh::RcMesh;
+pub use metrics::{d2m_delay, two_pole_delay};
 pub use rctree::{NodeId, RcTree};
 pub use spef::SpefNet;
 pub use transient::{simulate_ramp, TransientConfig, TransientResult};

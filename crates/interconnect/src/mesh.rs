@@ -156,7 +156,10 @@ impl RcMesh {
     ///
     /// Panics if `node` is the root or out of range.
     pub fn two_pole_delay(&self, node: MeshNode) -> Result<f64, DenseError> {
-        assert!(node > 0 && node < self.n, "delay is measured at a non-root node");
+        assert!(
+            node > 0 && node < self.n,
+            "delay is measured at a non-root node"
+        );
         let (m1, m2) = self.moments()?;
         Ok(crate::metrics::two_pole_delay(
             m1[node].max(1e-18),

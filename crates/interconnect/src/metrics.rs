@@ -95,9 +95,8 @@ mod tests {
         let m2 = m1 * m1 - tau1 * tau2;
         let d = two_pole_delay(m1, m2);
         // Exact crossing computed independently:
-        let v = |t: f64| {
-            1.0 - (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2)
-        };
+        let v =
+            |t: f64| 1.0 - (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2);
         assert!((v(d) - 0.5).abs() < 1e-9);
         // With separated poles the 50% crossing lies between the optimistic
         // single-pole ln2·m1 and the pessimistic Elmore m1.

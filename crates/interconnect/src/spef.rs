@@ -73,11 +73,7 @@ pub fn write(nets: &[SpefNet]) -> String {
     for net in nets {
         writeln!(out, "*NET {}", net.name).expect("string write");
         for id in net.tree.topo_order() {
-            let parent = net
-                .tree
-                .parent(id)
-                .map(|p| p.index() as i64)
-                .unwrap_or(-1);
+            let parent = net.tree.parent(id).map(|p| p.index() as i64).unwrap_or(-1);
             writeln!(
                 out,
                 "*N {} {} {:e} {:e}",
@@ -146,7 +142,9 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
                     }
                     tree = Some(RcTree::new(cap));
                 } else {
-                    let t = tree.as_mut().ok_or(ParseSpefError::BadTopology(lineno + 1))?;
+                    let t = tree
+                        .as_mut()
+                        .ok_or(ParseSpefError::BadTopology(lineno + 1))?;
                     if parent < 0 || parent as usize >= id {
                         return Err(ParseSpefError::BadTopology(lineno + 1));
                     }
@@ -158,7 +156,9 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
                     .trim()
                     .parse()
                     .map_err(|_| ParseSpefError::BadRecord(lineno + 1))?;
-                let t = tree.as_mut().ok_or(ParseSpefError::BadTopology(lineno + 1))?;
+                let t = tree
+                    .as_mut()
+                    .ok_or(ParseSpefError::BadTopology(lineno + 1))?;
                 if idx >= t.len() {
                     return Err(ParseSpefError::BadTopology(lineno + 1));
                 }

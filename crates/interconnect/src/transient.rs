@@ -103,7 +103,11 @@ pub fn simulate_ramp(tree: &RcTree, cfg: &TransientConfig) -> TransientResult {
     // Eliminated diagonal a' (leaf-to-root), constant across steps.
     let mut a = diag.clone();
     let parents: Vec<usize> = (0..n)
-        .map(|i| tree.parent(NodeId(i)).map(|p| p.index()).unwrap_or(usize::MAX))
+        .map(|i| {
+            tree.parent(NodeId(i))
+                .map(|p| p.index())
+                .unwrap_or(usize::MAX)
+        })
         .collect();
     for i in (1..n).rev() {
         let p = parents[i];
@@ -244,7 +248,10 @@ mod tests {
         // Compare against source→sink crossing from the transient.
         let measured_total = res.sink_cross[0] - res.source_cross;
         let rel = (tp_total - measured_total).abs() / measured_total;
-        assert!(rel < 0.08, "two-pole {tp_total} vs transient {measured_total} (rel {rel})");
+        assert!(
+            rel < 0.08,
+            "two-pole {tp_total} vs transient {measured_total} (rel {rel})"
+        );
         // And D2M lands in the same ballpark.
         let d2m = d2m_delay(m1[map_cur.index()], m2[map_cur.index()]);
         assert!((d2m - measured_total).abs() / measured_total < 0.25);
@@ -284,12 +291,15 @@ mod tests {
     #[should_panic(expected = "tree has no sinks")]
     fn requires_sinks() {
         let t = RcTree::new(1e-15);
-        simulate_ramp(&t, &TransientConfig {
-            vdd: 0.6,
-            input_slew: 1e-12,
-            driver_res: 100.0,
-            dt: 1e-13,
-            t_max: 1e-9,
-        });
+        simulate_ramp(
+            &t,
+            &TransientConfig {
+                vdd: 0.6,
+                input_slew: 1e-12,
+                driver_res: 100.0,
+                dt: 1e-13,
+                t_max: 1e-9,
+            },
+        );
     }
 }

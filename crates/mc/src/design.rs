@@ -126,8 +126,8 @@ impl Design {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let tp = two_pole_delay(m1[s.index()].max(1e-18), m2[s.index()].max(1e-33))
-                    - cell_step;
+                let tp =
+                    two_pole_delay(m1[s.index()].max(1e-18), m2[s.index()].max(1e-33)) - cell_step;
                 let tr = reference.sink_cross[i] - cell_ramp;
                 // Degenerate tiny wires: skip anchoring.
                 if tp.abs() < 0.02e-12 || tr.abs() < 0.02e-12 {
@@ -188,10 +188,7 @@ impl Design {
     /// all load-pin input capacitances (the "effective capacitance" the
     /// paper adds to the cell's output load).
     pub fn stage_load_cap(&self, net: NetId) -> f64 {
-        let wire = self
-            .parasitic(net)
-            .map(|t| t.total_cap())
-            .unwrap_or(0.0);
+        let wire = self.parasitic(net).map(|t| t.total_cap()).unwrap_or(0.0);
         let pins: f64 = self
             .load_cells(net)
             .iter()
@@ -206,7 +203,11 @@ impl Design {
     ///
     /// The replacement must have the same pin count — same rule as
     /// [`nsigma_netlist::ir::Netlist::set_gate_cell`].
-    pub fn replace_gate_cell(&mut self, gate: nsigma_netlist::ir::GateId, cell: nsigma_cells::CellId) {
+    pub fn replace_gate_cell(
+        &mut self,
+        gate: nsigma_netlist::ir::GateId,
+        cell: nsigma_cells::CellId,
+    ) {
         self.netlist.set_gate_cell(gate, cell);
         let fanins: Vec<NetId> = self.netlist.gate(gate).inputs.clone();
         for net in fanins {
@@ -273,11 +274,7 @@ mod tests {
         let d = small_design();
         let w = d.netlist.find_net("a").unwrap();
         let wire = d.parasitic(w).unwrap().total_cap();
-        let pin: f64 = d
-            .load_cells(w)
-            .iter()
-            .map(|c| c.input_cap(&d.tech))
-            .sum();
+        let pin: f64 = d.load_cells(w).iter().map(|c| c.input_cap(&d.tech)).sum();
         assert!((d.stage_load_cap(w) - wire - pin).abs() < 1e-30);
         assert!(wire > 0.0 && pin > 0.0);
     }

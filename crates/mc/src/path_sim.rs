@@ -64,10 +64,7 @@ fn nominal_stage_weight(design: &Design, g: nsigma_netlist::ir::GateId) -> f64 {
         .parasitic(gate.output)
         .map(|t| {
             let m1 = elmore_all(t);
-            t.sinks()
-                .first()
-                .map(|s| m1[s.index()])
-                .unwrap_or(0.0)
+            t.sinks().first().map(|s| m1[s.index()]).unwrap_or(0.0)
         })
         .unwrap_or(0.0);
     arc.delay + wire
@@ -127,10 +124,7 @@ pub fn sample_path<R: Rng + ?Sized>(
                             .position(|&(lg, _)| lg == next)
                     })
                     .unwrap_or(0);
-                let scale = design
-                    .wire_golden_scale(net)
-                    .map(|s| s[pos])
-                    .unwrap_or(1.0);
+                let scale = design.wire_golden_scale(net).map(|s| s[pos]).unwrap_or(1.0);
                 // The cell arc is evaluated at the effective capacitance so
                 // cell + wire decompose the true source→sink delay exactly.
                 (ws.delays[pos] * scale, ws.c_eff)
@@ -174,7 +168,10 @@ pub fn simulate_path_mc(design: &Design, path: &Path, cfg: &PathMcConfig) -> McR
     let mut samples = vec![0.0; cfg.samples];
 
     crossbeam::scope(|scope| {
-        for (t, chunk) in samples.chunks_mut(cfg.samples.div_ceil(n_threads)).enumerate() {
+        for (t, chunk) in samples
+            .chunks_mut(cfg.samples.div_ceil(n_threads))
+            .enumerate()
+        {
             let seeds = &seeds;
             let variation = &variation;
             let base = t * cfg.samples.div_ceil(n_threads);
@@ -217,7 +214,10 @@ pub fn simulate_circuit_mc(design: &Design, cfg: &PathMcConfig) -> McResult {
     let mut samples = vec![0.0; cfg.samples];
 
     crossbeam::scope(|scope| {
-        for (t, chunk) in samples.chunks_mut(cfg.samples.div_ceil(n_threads)).enumerate() {
+        for (t, chunk) in samples
+            .chunks_mut(cfg.samples.div_ceil(n_threads))
+            .enumerate()
+        {
             let seeds = &seeds;
             let variation = &variation;
             let order = &order;
@@ -227,7 +227,8 @@ pub fn simulate_circuit_mc(design: &Design, cfg: &PathMcConfig) -> McResult {
                     let trial = base + i;
                     let mut rng = SmallRng::seed_from_u64(seeds.tagged_seed(trial as u64));
                     let global = variation.sample_global(&mut rng);
-                    *out = sample_circuit(design, variation, order, cfg.input_slew, &global, &mut rng);
+                    *out =
+                        sample_circuit(design, variation, order, cfg.input_slew, &global, &mut rng);
                 }
             });
         }
@@ -265,13 +266,16 @@ fn sample_circuit<R: Rng + ?Sized>(
             .inputs
             .iter()
             .map(|&i| (arrival[i.index()], slew[i.index()]))
-            .fold((0.0f64, input_slew), |(a, s), (ai, si)| {
-                if ai > a {
-                    (ai, si)
-                } else {
-                    (a, s)
-                }
-            });
+            .fold(
+                (0.0f64, input_slew),
+                |(a, s), (ai, si)| {
+                    if ai > a {
+                        (ai, si)
+                    } else {
+                        (a, s)
+                    }
+                },
+            );
 
         let net = gate.output;
         let (wire_delays, load_cap) = match design.parasitic(net) {
@@ -290,12 +294,7 @@ fn sample_circuit<R: Rng + ?Sized>(
                     WireGoldenMode::TwoPole,
                 );
                 let scaled: Vec<f64> = match design.wire_golden_scale(net) {
-                    Some(sc) => ws
-                        .delays
-                        .iter()
-                        .zip(sc)
-                        .map(|(d, s)| d * s)
-                        .collect(),
+                    Some(sc) => ws.delays.iter().zip(sc).map(|(d, s)| d * s).collect(),
                     None => ws.delays,
                 };
                 (scaled, ws.c_eff)

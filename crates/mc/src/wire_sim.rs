@@ -338,7 +338,13 @@ mod tests {
         let tree = test_tree();
         let drv = Cell::new(CellKind::Inv, 1);
         let load = Cell::new(CellKind::Inv, 4);
-        let res = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 2000));
+        let res = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 2000),
+        );
         let elmore = elmore_delay(&tree, tree.sinks()[0]);
         assert!(
             res[0].moments.mean > elmore,
@@ -357,9 +363,20 @@ mod tests {
         let tree = test_tree();
         let drv = Cell::new(CellKind::Inv, 4);
         let load = Cell::new(CellKind::Inv, 4);
-        let fast = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 400));
-        let slow =
-            simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::Transient, 400));
+        let fast = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 400),
+        );
+        let slow = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&load],
+            &cfg(WireGoldenMode::Transient, 400),
+        );
         let rel = (fast[0].moments.mean - slow[0].moments.mean).abs() / slow[0].moments.mean;
         assert!(rel < 0.12, "two-pole vs transient mean differ by {rel}");
         let cv_fast = fast[0].moments.variability();
@@ -378,9 +395,20 @@ mod tests {
         let load = Cell::new(CellKind::Inv, 2);
         let weak = Cell::new(CellKind::Inv, 1);
         let strong = Cell::new(CellKind::Inv, 4);
-        let rw = simulate_wire_mc(&tech, &tree, &weak, &[&load], &cfg(WireGoldenMode::TwoPole, 4000));
-        let rs =
-            simulate_wire_mc(&tech, &tree, &strong, &[&load], &cfg(WireGoldenMode::TwoPole, 4000));
+        let rw = simulate_wire_mc(
+            &tech,
+            &tree,
+            &weak,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 4000),
+        );
+        let rs = simulate_wire_mc(
+            &tech,
+            &tree,
+            &strong,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 4000),
+        );
         assert!(
             rw[0].moments.variability() > rs[0].moments.variability(),
             "weak {} vs strong {}",
@@ -395,8 +423,20 @@ mod tests {
         let tree = test_tree();
         let drv = Cell::new(CellKind::Inv, 2);
         let load = Cell::new(CellKind::Inv, 1);
-        let a = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 300));
-        let b = simulate_wire_mc(&tech, &tree, &drv, &[&load], &cfg(WireGoldenMode::TwoPole, 300));
+        let a = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 300),
+        );
+        let b = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&load],
+            &cfg(WireGoldenMode::TwoPole, 300),
+        );
         assert_eq!(a[0].samples(), b[0].samples());
     }
 
@@ -412,8 +452,13 @@ mod tests {
         let drv = Cell::new(CellKind::Inv, 2);
         let l1 = Cell::new(CellKind::Nand2, 1);
         let l2 = Cell::new(CellKind::Nor2, 2);
-        let res =
-            simulate_wire_mc(&tech, &tree, &drv, &[&l1, &l2], &cfg(WireGoldenMode::TwoPole, 500));
+        let res = simulate_wire_mc(
+            &tech,
+            &tree,
+            &drv,
+            &[&l1, &l2],
+            &cfg(WireGoldenMode::TwoPole, 500),
+        );
         assert_eq!(res.len(), 2);
         assert!(res[1].moments.mean > res[0].moments.mean, "far sink slower");
     }

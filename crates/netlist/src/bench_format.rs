@@ -127,8 +127,14 @@ pub fn write(circuit: &LogicCircuit) -> String {
         writeln!(out, "OUTPUT({o})").expect("string write");
     }
     for g in &circuit.gates {
-        writeln!(out, "{} = {}({})", g.output, g.op.keyword(), g.inputs.join(", "))
-            .expect("string write");
+        writeln!(
+            out,
+            "{} = {}({})",
+            g.output,
+            g.op.keyword(),
+            g.inputs.join(", ")
+        )
+        .expect("string write");
     }
     out
 }

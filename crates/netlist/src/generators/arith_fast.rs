@@ -246,10 +246,7 @@ mod tests {
             let order = crate::topo::topo_order(&nl);
             assert_eq!(order.len(), nl.num_gates());
             for &o in nl.outputs() {
-                assert!(matches!(
-                    nl.net(o).driver,
-                    crate::ir::NetDriver::Gate(_)
-                ));
+                assert!(matches!(nl.net(o).driver, crate::ir::NetDriver::Gate(_)));
             }
         }
     }

@@ -161,7 +161,9 @@ pub fn synthetic_circuit(cfg: &SyntheticConfig) -> LogicCircuit {
         let count = if layer + 1 == cfg.depth {
             remaining
         } else {
-            per_layer.min(remaining.saturating_sub(cfg.depth - layer - 1)).max(1)
+            per_layer
+                .min(remaining.saturating_sub(cfg.depth - layer - 1))
+                .max(1)
         };
         remaining -= count;
         let mut this_layer = Vec::with_capacity(count);

@@ -127,7 +127,12 @@ impl Netlist {
     ///
     /// Panics if an input net id is out of range, the pin count does not
     /// match the cell, or the derived net name collides.
-    pub fn add_gate(&mut self, name: impl Into<String>, cell: CellId, inputs: &[NetId]) -> (GateId, NetId) {
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        cell: CellId,
+        inputs: &[NetId],
+    ) -> (GateId, NetId) {
         let name = name.into();
         for &i in inputs {
             assert!(i.0 < self.nets.len(), "input net out of range");

@@ -49,4 +49,6 @@ pub mod verilog;
 pub use ir::{Gate, GateId, Net, NetDriver, NetId, Netlist};
 pub use logic::{LogicCircuit, LogicGate, LogicOp};
 pub use mapping::map_to_cells;
-pub use topo::{depth, k_longest_paths_by, levels, longest_path, longest_path_by, topo_order, Path};
+pub use topo::{
+    depth, k_longest_paths_by, levels, longest_path, longest_path_by, topo_order, Path,
+};

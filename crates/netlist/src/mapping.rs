@@ -222,8 +222,7 @@ fn logic_topo_order(logic: &LogicCircuit) -> Result<Vec<usize>, MapError> {
         .enumerate()
         .map(|(i, g)| (g.output.as_str(), i))
         .collect();
-    let inputs: std::collections::HashSet<&str> =
-        logic.inputs.iter().map(|s| s.as_str()).collect();
+    let inputs: std::collections::HashSet<&str> = logic.inputs.iter().map(|s| s.as_str()).collect();
 
     let n = logic.gates.len();
     let mut indegree = vec![0usize; n];

@@ -173,8 +173,8 @@ mod tests {
             let cin: u64 = rng.gen_range(0..2);
             let out = evaluate_packed(&nl, &lib, &[("cin", cin), ("a", a), ("b", b)]);
             let sum = pack_outputs(&nl, &out, "fa") & 0xFF; // sums named fa{i}_s
-            // Output nets are the FA sum nets s and the final carry; pack by
-            // position instead: sums are the first 8 outputs, carry the 9th.
+                                                            // Output nets are the FA sum nets s and the final carry; pack by
+                                                            // position instead: sums are the first 8 outputs, carry the 9th.
             let mut s = 0u64;
             for (bit, &v) in out.iter().take(8).enumerate() {
                 if v {

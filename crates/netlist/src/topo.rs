@@ -260,12 +260,7 @@ pub fn k_longest_paths_by(
 type TopCandidate = (f64, Option<(GateId, usize)>);
 
 /// Walks the top-k links back from `(end, rank)` into a [`Path`].
-fn reconstruct(
-    netlist: &Netlist,
-    tops: &[Vec<TopCandidate>],
-    end: GateId,
-    rank: usize,
-) -> Path {
+fn reconstruct(netlist: &Netlist, tops: &[Vec<TopCandidate>], end: GateId, rank: usize) -> Path {
     let mut gates = vec![end];
     let mut cur = (end, rank);
     while let Some((pred, pred_rank)) = tops[cur.0.index()][cur.1].1 {
@@ -399,7 +394,7 @@ mod tests {
         assert_eq!(paths.len(), 2, "only two distinct PI→PO routes exist");
         assert_eq!(paths[0].len(), 4); // deep branch + join
         assert_eq!(paths[1].len(), 2); // shallow branch + join
-        // Heaviest first, and the first equals longest_path.
+                                       // Heaviest first, and the first equals longest_path.
         let single = longest_path(&nl).unwrap();
         assert_eq!(paths[0], single);
     }

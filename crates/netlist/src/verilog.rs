@@ -25,7 +25,13 @@ use std::fmt::Write as _;
 fn ident(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'n');
@@ -72,7 +78,13 @@ pub fn write_verilog(netlist: &Netlist, lib: &CellLibrary) -> String {
 
     let mut ports: Vec<&str> = inputs.clone();
     ports.extend(outputs.iter());
-    writeln!(out, "module {} ({});", ident(netlist.name()), ports.join(", ")).expect("write");
+    writeln!(
+        out,
+        "module {} ({});",
+        ident(netlist.name()),
+        ports.join(", ")
+    )
+    .expect("write");
     writeln!(out, "  input {};", inputs.join(", ")).expect("write");
     writeln!(out, "  output {};", outputs.join(", ")).expect("write");
 
@@ -181,7 +193,9 @@ pub fn parse_verilog(text: &str, lib: &CellLibrary) -> Result<Netlist, ParseVeri
             wires.extend(rest.split(',').map(|s| s.trim().to_string()));
         } else {
             // Instance: CELL name ( .PIN(net), ... )
-            let open = stmt.find('(').ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
+            let open = stmt
+                .find('(')
+                .ok_or(ParseVerilogError::BadStatement(lineno + 1))?;
             let head: Vec<&str> = stmt[..open].split_whitespace().collect();
             if head.len() != 2 {
                 return Err(ParseVerilogError::BadStatement(lineno + 1));
@@ -301,11 +315,7 @@ pub fn structurally_equal(a: &Netlist, b: &Netlist, lib: &CellLibrary) -> bool {
             .map(|g| {
                 let cell = lib.cell(g.cell).name().to_string();
                 let out = ident(&n.net(g.output).name);
-                let ins: Vec<String> = g
-                    .inputs
-                    .iter()
-                    .map(|&i| ident(&n.net(i).name))
-                    .collect();
+                let ins: Vec<String> = g.inputs.iter().map(|&i| ident(&n.net(i).name)).collect();
                 (out, cell, ins)
             })
             .collect();
@@ -357,7 +367,8 @@ endmodule
     #[test]
     fn rejects_unknown_cell() {
         let lib = CellLibrary::standard();
-        let text = "module t (a, y);\n input a;\n output y;\n MYSTERY u1 (.A1(a), .Y(y));\nendmodule\n";
+        let text =
+            "module t (a, y);\n input a;\n output y;\n MYSTERY u1 (.A1(a), .Y(y));\nendmodule\n";
         assert_eq!(
             parse_verilog(text, &lib).unwrap_err(),
             ParseVerilogError::UnknownCell("MYSTERY".into())
@@ -367,7 +378,8 @@ endmodule
     #[test]
     fn rejects_undriven_net() {
         let lib = CellLibrary::standard();
-        let text = "module t (a, y);\n input a;\n output y;\n INVx1 u1 (.A1(ghost), .Y(y));\nendmodule\n";
+        let text =
+            "module t (a, y);\n input a;\n output y;\n INVx1 u1 (.A1(ghost), .Y(y));\nendmodule\n";
         assert_eq!(
             parse_verilog(text, &lib).unwrap_err(),
             ParseVerilogError::UnknownNet("ghost".into())

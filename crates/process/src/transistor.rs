@@ -87,12 +87,7 @@ impl Stack {
     ///
     /// Series resistance divides the single-device current by `depth`.
     pub fn drive_current(&self, tech: &Technology, dvth_eff: f64, mobility: f64) -> f64 {
-        let i = drain_current(
-            tech,
-            tech.vdd,
-            tech.vth0 + dvth_eff,
-            self.width_multiple,
-        );
+        let i = drain_current(tech, tech.vdd, tech.vth0 + dvth_eff, self.width_multiple);
         mobility * i / self.depth as f64
     }
 

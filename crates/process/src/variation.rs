@@ -166,7 +166,11 @@ mod tests {
 
         let mob: Vec<f64> = samples.iter().map(|s| s.mobility).collect();
         let mm = Moments::from_samples(&mob);
-        assert!((mm.mean - 1.0).abs() < 0.002, "lognormal mean 1, got {}", mm.mean);
+        assert!(
+            (mm.mean - 1.0).abs() < 0.002,
+            "lognormal mean 1, got {}",
+            mm.mean
+        );
         assert!((mm.std - tech.global_mobility_sigma).abs() / tech.global_mobility_sigma < 0.05);
         assert!(mob.iter().all(|&x| x > 0.0));
     }

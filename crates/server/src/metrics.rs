@@ -65,7 +65,9 @@ impl Metrics {
     /// Fresh, zeroed counters.
     pub fn new() -> Self {
         Self {
-            endpoints: (0..ENDPOINTS.len()).map(|_| EndpointMetrics::new()).collect(),
+            endpoints: (0..ENDPOINTS.len())
+                .map(|_| EndpointMetrics::new())
+                .collect(),
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
@@ -125,7 +127,10 @@ impl Metrics {
                         "mean_us",
                         Value::Num(total_us as f64 / (ok + errors) as f64),
                     ),
-                    ("max_us", Value::Num(m.max_us.load(Ordering::Relaxed) as f64)),
+                    (
+                        "max_us",
+                        Value::Num(m.max_us.load(Ordering::Relaxed) as f64),
+                    ),
                 ]),
             ));
         }

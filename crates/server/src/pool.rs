@@ -153,7 +153,10 @@ mod tests {
         let pool = WorkerPool::new(2, 4, echo_handler());
         let (job, rx) = Job::new(Request::Stats);
         pool.submit(job).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "done:stats");
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "done:stats"
+        );
         pool.shutdown();
     }
 

@@ -264,8 +264,7 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_request(r#"{"cmd":"eco_resize","design":"d","gate":"g7","strength":8}"#)
-                .unwrap(),
+            parse_request(r#"{"cmd":"eco_resize","design":"d","gate":"g7","strength":8}"#).unwrap(),
             Request::EcoResize {
                 design: "d".into(),
                 gate: "g7".into(),
@@ -281,8 +280,8 @@ mod tests {
 
     #[test]
     fn register_design_variants() {
-        let iscas = parse_request(r#"{"cmd":"register_design","name":"a","iscas":"c432"}"#)
-            .unwrap();
+        let iscas =
+            parse_request(r#"{"cmd":"register_design","name":"a","iscas":"c432"}"#).unwrap();
         assert_eq!(
             iscas,
             Request::RegisterDesign {

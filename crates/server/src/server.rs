@@ -143,7 +143,9 @@ impl Engine {
     pub fn process(&self, job: Job) {
         let waited = job.enqueued.elapsed();
         if waited > self.deadline {
-            self.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(error_response(
                 "deadline",
                 &format!(
@@ -156,13 +158,15 @@ impl Engine {
         }
         let endpoint = job.request.endpoint();
         let t0 = Instant::now();
-        let outcome =
-            std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(job.request)));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(job.request)));
         let micros = t0.elapsed().as_micros() as u64;
         let (ok, line) = match outcome {
             Ok(Ok(payload)) => (true, ok_response(payload)),
             Ok(Err((code, msg))) => (false, error_response(code, &msg)),
-            Err(_) => (false, error_response("internal", "request handler panicked")),
+            Err(_) => (
+                false,
+                error_response("internal", "request handler panicked"),
+            ),
         };
         self.metrics.record(endpoint, ok, micros);
         let _ = job.reply.send(line);
@@ -273,15 +277,9 @@ impl Engine {
         for path in &paths {
             let timing = inc.timer().analyze_path(inc.design(), path);
             out.push(Value::Obj(vec![
-                (
-                    "gates".to_string(),
-                    path_gates_json(inc.design(), path),
-                ),
+                ("gates".to_string(), path_gates_json(inc.design(), path)),
                 ("stages".to_string(), Value::Num(path.len() as f64)),
-                (
-                    "quantiles".to_string(),
-                    quantiles_json(&timing.quantiles),
-                ),
+                ("quantiles".to_string(), quantiles_json(&timing.quantiles)),
             ]));
         }
         Ok(vec![
@@ -305,10 +303,7 @@ impl Engine {
         let delay = if sigma.fract() == 0.0 && (-3.0..=3.0).contains(&sigma) {
             q[integer_level(sigma as i32)]
         } else {
-            let strictly_increasing = q
-                .as_array()
-                .windows(2)
-                .all(|w| w[1] > w[0]);
+            let strictly_increasing = q.as_array().windows(2).all(|w| w[1] > w[0]);
             if !strictly_increasing {
                 return Err((
                     "internal",
@@ -354,7 +349,10 @@ impl Engine {
             ("design", Value::Str(design.to_string())),
             ("gate", Value::Str(gate.to_string())),
             ("strength", Value::Num(strength as f64)),
-            ("recomputed_gates", Value::Num(inc.last_recompute_count() as f64)),
+            (
+                "recomputed_gates",
+                Value::Num(inc.last_recompute_count() as f64),
+            ),
             ("worst_quantiles", quantiles_json(&worst)),
         ])
     }
@@ -368,10 +366,7 @@ impl Engine {
             .map(|p| (p.queued(), p.capacity()))
             .unwrap_or((0, 0));
         vec![
-            (
-                "uptime_s",
-                Value::Num(self.started.elapsed().as_secs_f64()),
-            ),
+            ("uptime_s", Value::Num(self.started.elapsed().as_secs_f64())),
             ("threads", Value::Num(self.threads as f64)),
             ("designs", Value::Num(self.store.len() as f64)),
             ("queue_depth", Value::Num(depth as f64)),
@@ -389,7 +384,10 @@ impl Engine {
         ]
     }
 
-    fn lookup(&self, design: &str) -> Result<Arc<crate::store::DesignSlot>, (&'static str, String)> {
+    fn lookup(
+        &self,
+        design: &str,
+    ) -> Result<Arc<crate::store::DesignSlot>, (&'static str, String)> {
         self.store
             .get(design)
             .ok_or_else(|| ("not_found", format!("no design named {design:?}")))

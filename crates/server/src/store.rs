@@ -23,7 +23,9 @@ impl DesignStore {
     /// Creates a store with `shards` shards (at least 1).
     pub fn new(shards: usize) -> Self {
         Self {
-            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -86,7 +88,12 @@ mod tests {
     fn tiny() -> (Arc<NsigmaTimer>, Design) {
         let tech = Technology::synthetic_28nm();
         let mut lib = CellLibrary::new();
-        for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+        ] {
             for s in [1, 2, 4, 8] {
                 lib.add(Cell::new(kind, s));
             }

@@ -209,7 +209,10 @@ impl SkewNormal {
     ///
     /// Panics if `omega <= 0`.
     pub fn new(xi: f64, omega: f64, alpha: f64) -> Self {
-        assert!(omega > 0.0, "SkewNormal omega must be positive, got {omega}");
+        assert!(
+            omega > 0.0,
+            "SkewNormal omega must be positive, got {omega}"
+        );
         Self { xi, omega, alpha }
     }
 
@@ -397,7 +400,8 @@ impl Distribution for BurrXii {
             return 0.0;
         }
         let t = x / self.scale;
-        self.c * self.k / self.scale * t.powf(self.c - 1.0)
+        self.c * self.k / self.scale
+            * t.powf(self.c - 1.0)
             * (1.0 + t.powf(self.c)).powf(-self.k - 1.0)
     }
     fn cdf(&self, x: f64) -> f64 {
@@ -497,7 +501,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(77);
         let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
         let m = crate::moments::Moments::from_samples(&xs);
-        assert!((m.mean - d.mean()).abs() < 0.01, "{} vs {}", m.mean, d.mean());
+        assert!(
+            (m.mean - d.mean()).abs() < 0.01,
+            "{} vs {}",
+            m.mean,
+            d.mean()
+        );
         assert!((m.std - d.std()).abs() < 0.01);
         assert!((m.skewness - d.skewness()).abs() < 0.05);
     }

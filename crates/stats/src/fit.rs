@@ -169,12 +169,7 @@ pub fn fit_burr(samples: &[f64]) -> Result<BurrXii, FitDistError> {
 /// `max_iter` the iteration budget. Returns the best vertex found. This is a
 /// compact, allocation-light implementation sufficient for the 2–3 parameter
 /// fits used in this workspace.
-pub fn nelder_mead(
-    f: &dyn Fn(&[f64]) -> f64,
-    x0: &[f64],
-    step: f64,
-    max_iter: usize,
-) -> Vec<f64> {
+pub fn nelder_mead(f: &dyn Fn(&[f64]) -> f64, x0: &[f64], step: f64, max_iter: usize) -> Vec<f64> {
     let n = x0.len();
     let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
     simplex.push((x0.to_vec(), f(x0)));

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cell = Cell::new(CellKind::Nand2, 2);
 
     // Characterize NAND2x2 over the standard slew × load grid.
-    println!("characterizing {} (5k MC samples per grid point)...", cell.name());
+    println!(
+        "characterizing {} (5k MC samples per grid point)...",
+        cell.name()
+    );
     let grid = characterize_cell(&tech, &cell, &CharacterizeConfig::standard(5000, 11));
 
     println!("\nmoments across the grid (rows: slew, cols: load):");
@@ -54,10 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = TimerConfig::standard(3);
     cfg.char_samples = 2000;
     cfg.wire.samples = 1000;
-    println!("\nbuilding a timer for {} cells and writing coefficients...", lib.len());
+    println!(
+        "\nbuilding a timer for {} cells and writing coefficients...",
+        lib.len()
+    );
     let timer = NsigmaTimer::build(&tech, &lib, &cfg)?;
     let text = write_coefficients(&timer);
-    println!("coefficient file: {} lines, {} bytes", text.lines().count(), text.len());
+    println!(
+        "coefficient file: {} lines, {} bytes",
+        text.lines().count(),
+        text.len()
+    );
 
     let restored = read_coefficients(&tech, &text)?;
     println!(

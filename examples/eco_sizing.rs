@@ -20,7 +20,12 @@ use nsigma::stats::quantile::SigmaLevel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::synthetic_28nm();
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. A library restricted to what the adder uses (fast characterization).
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }
@@ -61,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             input_slew: 10e-12,
         },
     );
-    for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+    for lvl in [
+        SigmaLevel::MinusThree,
+        SigmaLevel::Zero,
+        SigmaLevel::PlusThree,
+    ] {
         let err = (timing.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl] * 100.0;
         println!(
             "  {lvl}: model {:8.1} ps vs golden {:8.1} ps ({err:+.1}%)",

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release -p nsigma --example wire_calibration`
 
 use nsigma_cells::cell::{Cell, CellKind};
-use nsigma_core::wire_model::{
-    cell_coefficient, WireCalibConfig, WireVariabilityModel,
-};
+use nsigma_core::wire_model::{cell_coefficient, WireCalibConfig, WireVariabilityModel};
 use nsigma_interconnect::generator::random_net;
 use nsigma_mc::wire_sim::{WireGoldenMode, WireMcConfig};
 use nsigma_process::Technology;

@@ -8,7 +8,9 @@ use nsigma::cells::timing::sample_arc;
 use nsigma::cells::CellLibrary;
 use nsigma::interconnect::spef::{parse as parse_spef, write as write_spef, SpefNet};
 use nsigma::mc::design::Design;
-use nsigma::mc::path_sim::{find_critical_path, simulate_circuit_mc, simulate_path_mc, PathMcConfig};
+use nsigma::mc::path_sim::{
+    find_critical_path, simulate_circuit_mc, simulate_path_mc, PathMcConfig,
+};
 use nsigma::netlist::bench_format;
 use nsigma::netlist::generators::random_dag::Iscas85;
 use nsigma::netlist::mapping::map_to_cells;
@@ -26,12 +28,7 @@ w1 = NAND(a, b)\nw2 = XOR(w1, c)\nw3 = NOR(w2, a)\ny = NOT(w3)\n";
     let logic = bench_format::parse("mini", text).expect("parses");
     let lib = CellLibrary::standard();
     let netlist = map_to_cells(&logic, &lib).expect("maps");
-    let design = Design::with_generated_parasitics(
-        Technology::synthetic_28nm(),
-        lib,
-        netlist,
-        77,
-    );
+    let design = Design::with_generated_parasitics(Technology::synthetic_28nm(), lib, netlist, 77);
     let path = find_critical_path(&design).expect("path");
     let r = simulate_path_mc(
         &design,
@@ -50,8 +47,7 @@ w1 = NAND(a, b)\nw2 = XOR(w1, c)\nw3 = NOR(w2, a)\ny = NOT(w3)\n";
 fn design_parasitics_survive_spef_round_trip() {
     let lib = CellLibrary::standard();
     let netlist = map_to_cells(&Iscas85::C432.generate(), &lib).expect("maps");
-    let design =
-        Design::with_generated_parasitics(Technology::synthetic_28nm(), lib, netlist, 3);
+    let design = Design::with_generated_parasitics(Technology::synthetic_28nm(), lib, netlist, 3);
 
     // Export every net's parasitics to SPEF-lite and read them back.
     let nets: Vec<SpefNet> = design
@@ -64,7 +60,11 @@ fn design_parasitics_survive_spef_round_trip() {
             })
         })
         .collect();
-    assert!(nets.len() > 500, "c432 has many routed nets: {}", nets.len());
+    assert!(
+        nets.len() > 500,
+        "c432 has many routed nets: {}",
+        nets.len()
+    );
     let text = write_spef(&nets);
     let parsed = parse_spef(&text).expect("SPEF parses back");
     assert_eq!(parsed, nets);
@@ -74,8 +74,7 @@ fn design_parasitics_survive_spef_round_trip() {
 fn circuit_mc_bounds_path_mc_on_a_benchmark() {
     let lib = CellLibrary::standard();
     let netlist = map_to_cells(&Iscas85::C432.generate(), &lib).expect("maps");
-    let design =
-        Design::with_generated_parasitics(Technology::synthetic_28nm(), lib, netlist, 4);
+    let design = Design::with_generated_parasitics(Technology::synthetic_28nm(), lib, netlist, 4);
     let cfg = PathMcConfig {
         samples: 300,
         seed: 6,
@@ -111,8 +110,7 @@ fn table_ii_ordering_holds_cross_crate() {
     let lsn = lsn_quantiles(&xs).expect("lsn");
     let burr = burr_quantiles(&xs).expect("burr");
     let e = |q: &QuantileSet| {
-        ((q[SigmaLevel::PlusThree] - golden[SigmaLevel::PlusThree])
-            / golden[SigmaLevel::PlusThree])
+        ((q[SigmaLevel::PlusThree] - golden[SigmaLevel::PlusThree]) / golden[SigmaLevel::PlusThree])
             .abs()
     };
     assert!(
@@ -125,9 +123,7 @@ fn table_ii_ordering_holds_cross_crate() {
 
 #[test]
 fn pulpino_unit_depths_are_ordered() {
-    use nsigma::netlist::generators::arith::{
-        array_multiplier, restoring_divider, ripple_adder,
-    };
+    use nsigma::netlist::generators::arith::{array_multiplier, restoring_divider, ripple_adder};
     use nsigma::netlist::topo::depth;
     let lib = CellLibrary::standard();
     let add = map_to_cells(&ripple_adder(16), &lib).expect("add");

@@ -15,7 +15,12 @@ use nsigma::stats::quantile::SigmaLevel;
 
 fn small_lib() -> CellLibrary {
     let mut lib = CellLibrary::new();
-    for kind in [CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Xor2] {
+    for kind in [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Xor2,
+    ] {
         for s in [1, 2, 4, 8] {
             lib.add(Cell::new(kind, s));
         }
@@ -51,7 +56,11 @@ fn full_flow_model_tracks_golden_on_both_tails() {
         },
     );
 
-    for lvl in [SigmaLevel::MinusThree, SigmaLevel::Zero, SigmaLevel::PlusThree] {
+    for lvl in [
+        SigmaLevel::MinusThree,
+        SigmaLevel::Zero,
+        SigmaLevel::PlusThree,
+    ] {
         let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl]).abs();
         assert!(
             rel < 0.18,

@@ -191,15 +191,14 @@ mod extended_properties {
 
     /// Strategy: a strictly increasing, positive quantile set.
     fn quantile_set_strategy() -> impl Strategy<Value = QuantileSet> {
-        (10.0f64..1e3, proptest::collection::vec(0.1f64..50.0, 6))
-            .prop_map(|(start, gaps)| {
-                let mut v = [0.0; 7];
-                v[0] = start;
-                for i in 1..7 {
-                    v[i] = v[i - 1] + gaps[i - 1];
-                }
-                QuantileSet::from_values(v)
-            })
+        (10.0f64..1e3, proptest::collection::vec(0.1f64..50.0, 6)).prop_map(|(start, gaps)| {
+            let mut v = [0.0; 7];
+            v[0] = start;
+            for i in 1..7 {
+                v[i] = v[i - 1] + gaps[i - 1];
+            }
+            QuantileSet::from_values(v)
+        })
     }
 
     proptest! {
@@ -297,7 +296,7 @@ mod netlist_properties {
     use nsigma::netlist::generators::arith::ripple_adder;
     use nsigma::netlist::generators::arith_fast::cla_adder;
     use nsigma::netlist::mapping::map_to_cells;
-    use nsigma::netlist::sim::{evaluate_packed, };
+    use nsigma::netlist::sim::evaluate_packed;
     use nsigma::netlist::verilog::{parse_verilog, structurally_equal, write_verilog};
     use proptest::prelude::*;
 

@@ -190,17 +190,26 @@ fn concurrent_clients_get_bit_exact_answers() {
     assert_eq!(stats.get("designs").unwrap().as_u64(), Some(4));
     let metrics = stats.get("metrics").unwrap();
     assert_eq!(metrics.get("bad_requests").unwrap().as_u64(), Some(1));
-    let wp = metrics.get("endpoints").unwrap().get("worst_paths").unwrap();
+    let wp = metrics
+        .get("endpoints")
+        .unwrap()
+        .get("worst_paths")
+        .unwrap();
     assert_eq!(wp.get("ok").unwrap().as_u64(), Some(4));
     let p50 = wp.get("p50_us").unwrap().as_f64().unwrap();
     let p99 = wp.get("p99_us").unwrap().as_f64().unwrap();
-    assert!(p50 >= 0.0 && p99 >= p50, "latency histogram must be ordered");
+    assert!(
+        p50 >= 0.0 && p99 >= p50,
+        "latency histogram must be ordered"
+    );
     assert!(wp.get("mean_us").unwrap().as_f64().unwrap() > 0.0);
     assert_eq!(wp.get("errors").unwrap().as_u64(), Some(1)); // the ghost lookup
 
     // Clean shutdown via the protocol: the server drains and the accept
     // loop exits, so wait() returns.
-    let bye = client.request_ok(r#"{"cmd":"shutdown"}"#).expect("shutdown");
+    let bye = client
+        .request_ok(r#"{"cmd":"shutdown"}"#)
+        .expect("shutdown");
     assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
     handle.wait();
 }
