@@ -191,13 +191,169 @@ pub fn run_mc(args: &Args) -> Result<String, FlowError> {
     Ok(out)
 }
 
+/// `lint`: static analysis of a design (and optionally a model) without
+/// running any timing query.
+///
+/// Exactly one input selector: `--bench <file.bench>`,
+/// `--verilog <file.v>` (with optional `--spef <file.spef>`),
+/// `--iscas <name>`, or `--suite generated` (every built-in ISCAS85 and
+/// arithmetic generator). With `--coeff <file>` the loaded model is also
+/// linted and library coverage is checked. `--ndjson` switches the output
+/// to newline-delimited JSON. `--seed N` seeds parasitic generation.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments or IO failure, and — so the
+/// process exits nonzero — when any error-severity diagnostic is found.
+pub fn run_lint(args: &Args) -> Result<String, FlowError> {
+    use nsigma_netlist::generators::arith::{ripple_adder, ripple_subtractor};
+    use nsigma_netlist::generators::arith_fast::cla_adder;
+    use nsigma_netlist::generators::random_dag::Iscas85;
+    use nsigma_netlist::logic::LogicCircuit;
+    use nsigma_netlist::mapping::map_to_cells;
+
+    let seed = args.get_usize("seed", 1)? as u64;
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = match args.get("coeff") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            Some(read_coefficients(&tech, &text).map_err(err)?)
+        }
+        None => None,
+    };
+
+    let mut report = nsigma_lint::LintReport::new();
+    let mut targets = 0usize;
+
+    // Builds the design for a logic circuit and runs the structural,
+    // parasitic and (when a model is loaded) coverage passes.
+    let lint_circuit = |circuit: &LogicCircuit, report: &mut nsigma_lint::LintReport| {
+        let netlist = match map_to_cells(circuit, &lib) {
+            Ok(n) => n,
+            Err(e) => {
+                // Mapping rejects what the structural lint already
+                // explains (e.g. a cycle); keep its diagnostics instead.
+                let mut r = nsigma_lint::lint_logic(circuit);
+                if r.is_clean() {
+                    r.push(
+                        "NL006",
+                        nsigma_lint::Severity::Error,
+                        nsigma_lint::Location::Object(format!("circuit '{}'", circuit.name)),
+                        format!("technology mapping failed: {e}"),
+                    );
+                }
+                report.merge(r);
+                return;
+            }
+        };
+        let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, seed);
+        match &timer {
+            Some(t) => report.merge(nsigma_lint::lint_design(&design, t)),
+            None => {
+                report.merge(nsigma_lint::lint_netlist(&design.netlist, &design.lib));
+                report.merge(nsigma_lint::lint_parasitics(&design));
+            }
+        }
+    };
+
+    if let Some(bench_path) = args.get("bench") {
+        let text = std::fs::read_to_string(bench_path)?;
+        let (circuit, r) = nsigma_lint::lint_bench_text(bench_path, &text);
+        targets += 1;
+        if let Some(circuit) = circuit {
+            if r.is_clean() {
+                lint_circuit(&circuit, &mut report);
+            }
+        }
+        report.merge(r);
+    } else if let Some(name) = args.get("iscas") {
+        let bench = Iscas85::ALL
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| err(format!("unknown ISCAS85 benchmark '{name}'")))?;
+        targets += 1;
+        lint_circuit(&bench.generate(), &mut report);
+    } else if args.get("verilog").is_some() {
+        let verilog_path = args.require("verilog")?;
+        let text = std::fs::read_to_string(verilog_path)?;
+        let netlist = parse_verilog(&text, &lib).map_err(err)?;
+        targets += 1;
+        report.merge(nsigma_lint::lint_netlist(&netlist, &lib));
+        let mut design =
+            Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, seed);
+        if let Some(spef_path) = args.get("spef") {
+            let spef_text = std::fs::read_to_string(spef_path)?;
+            let (nets, r) = nsigma_lint::lint_spef_text(spef_path, &spef_text);
+            report.merge(r);
+            if let Some(nets) = nets {
+                report.merge(nsigma_lint::lint_spef_vs_netlist(
+                    &design.netlist,
+                    &nets,
+                    spef_path,
+                ));
+                for net in nets {
+                    if let Some(id) = design.netlist.find_net(&net.name) {
+                        if design.netlist.fanout(id) == net.tree.sinks().len() {
+                            design.set_parasitic(id, net.tree);
+                        }
+                    }
+                }
+            }
+        }
+        report.merge(nsigma_lint::lint_parasitics(&design));
+        if let Some(t) = &timer {
+            report.merge(nsigma_lint::lint_coverage(&design, t));
+        }
+    } else if let Some(suite) = args.get("suite") {
+        if suite != "generated" {
+            return Err(err(format!("unknown suite '{suite}' (try 'generated')")));
+        }
+        for bench in Iscas85::ALL {
+            targets += 1;
+            lint_circuit(&bench.generate(), &mut report);
+        }
+        for circuit in [ripple_adder(8), ripple_subtractor(8), cla_adder(8)] {
+            targets += 1;
+            lint_circuit(&circuit, &mut report);
+        }
+    } else {
+        return Err(err(
+            "lint needs one of --bench, --verilog, --iscas or --suite generated",
+        ));
+    }
+
+    if let Some(t) = &timer {
+        report.merge(nsigma_lint::lint_model(t, Some(&lib)));
+    }
+
+    let rendered = if args.flag("ndjson") {
+        report.render_ndjson()
+    } else {
+        let (e, w, i) = report.counts();
+        format!(
+            "{}linted {targets} target(s): {e} error(s), {w} warning(s), {i} info(s)",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| format!("{d}\n"))
+                .collect::<String>()
+        )
+    };
+    if report.has_errors() {
+        return Err(FlowError(format!("lint failed\n{rendered}")));
+    }
+    Ok(rendered)
+}
+
 /// `serve`: run the timing-query daemon until a client sends `shutdown`.
 ///
 /// Options: `--port <n>` (default 7227; 0 picks an ephemeral port),
 /// `--threads <n>` (default 4), `--queue <n>` (default 64),
 /// `--deadline-ms <n>` (default 5000), `--samples <n>` (default 3000),
 /// `--seed <n>`, `--coeff <file>` (reload coefficients if the file
-/// exists, else build once and write them there).
+/// exists, else build once and write them there), `--no-lint` (register
+/// designs without the lint gate).
 ///
 /// # Errors
 ///
@@ -216,6 +372,7 @@ pub fn run_serve(args: &Args) -> Result<String, FlowError> {
         deadline: std::time::Duration::from_millis(args.get_usize("deadline-ms", 5000)? as u64),
         timer: timer_cfg,
         coeff_path: args.get("coeff").map(std::path::PathBuf::from),
+        lint_on_register: !args.flag("no-lint"),
         ..ServerConfig::default()
     };
     let handle = Server::start(cfg)?;
@@ -256,12 +413,17 @@ USAGE:
                      [--spef <file.spef>] [--clock <ps>] [--paths K]
                      [--sdf <out.sdf>] [--seed N]
   nsigma-sta mc --verilog <file.v> [--spef <file.spef>] [--samples N] [--seed N]
+  nsigma-sta lint (--bench <file.bench> | --verilog <file.v> [--spef <file.spef>]
+                   | --iscas <name> | --suite generated)
+                  [--coeff <coeff.txt>] [--ndjson] [--seed N]
   nsigma-sta serve [--port N] [--threads N] [--queue N] [--deadline-ms N]
-                   [--samples N] [--seed N] [--coeff <coeff.txt>]
+                   [--samples N] [--seed N] [--coeff <coeff.txt>] [--no-lint]
   nsigma-sta query --port N [--host ADDR] --send <json-request-line>
 
 The synthetic 28 nm technology is built in; cells must come from the
 standard library (INV/BUF/NAND2/NOR2/AOI2/OAI2/XOR2 at x1/x2/x4/x8).
+`lint` exits nonzero when any error-severity diagnostic is found; the
+code reference lives in the nsigma-lint crate docs and DESIGN.md.
 `serve` speaks newline-delimited JSON; see the nsigma-server crate docs
 for the request grammar."
 }

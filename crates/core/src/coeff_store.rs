@@ -42,6 +42,11 @@ pub enum ParseCoeffError {
     MissingHeader,
     /// Malformed record; carries the 1-based line number.
     BadRecord(usize),
+    /// A coefficient was NaN or infinite; carries the 1-based line number.
+    NonFinite(usize),
+    /// The seven sigma-level quantiles predicted by the loaded model are
+    /// not monotone (q(−3σ) ≤ … ≤ q(+3σ)); carries the probe they failed at.
+    NonMonotone(String),
     /// A required section never appeared.
     MissingSection(&'static str),
 }
@@ -51,6 +56,12 @@ impl std::fmt::Display for ParseCoeffError {
         match self {
             ParseCoeffError::MissingHeader => write!(f, "missing NSIGMA-COEFF header"),
             ParseCoeffError::BadRecord(l) => write!(f, "malformed coefficient record at line {l}"),
+            ParseCoeffError::NonFinite(l) => {
+                write!(f, "NaN or infinite coefficient at line {l}")
+            }
+            ParseCoeffError::NonMonotone(probe) => {
+                write!(f, "quantile model is not monotone at {probe}")
+            }
             ParseCoeffError::MissingSection(s) => write!(f, "missing section {s}"),
         }
     }
@@ -152,6 +163,11 @@ pub fn read_coefficients(tech: &Technology, text: &str) -> Result<NsigmaTimer, P
         let mut it = line.split_whitespace();
         let tag = it.next().ok_or(ParseCoeffError::BadRecord(lineno))?;
         let nums: Result<Vec<f64>, _> = it.clone().map(|s| s.parse::<f64>()).collect();
+        if let Ok(v) = &nums {
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err(ParseCoeffError::NonFinite(lineno));
+            }
+        }
 
         match tag {
             "INPUT-SLEW" => {
@@ -180,6 +196,9 @@ pub fn read_coefficients(tech: &Technology, text: &str) -> Result<NsigmaTimer, P
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or(ParseCoeffError::BadRecord(lineno))?;
+                if !x.is_finite() {
+                    return Err(ParseCoeffError::NonFinite(lineno));
+                }
                 wire_cells.push((name, x));
             }
             "CELL" => {
@@ -258,6 +277,34 @@ pub fn read_coefficients(tech: &Technology, text: &str) -> Result<NsigmaTimer, P
         .try_into()
         .map_err(|_| ParseCoeffError::MissingSection("QMODEL"))?;
     let quantile_model = CellQuantileModel::from_coefficients(qarray);
+
+    // A loaded model must predict monotone quantiles q(−3σ) ≤ … ≤ q(+3σ).
+    // Probe it at a canonical operating point and at every calibrated
+    // cell's reference moments. Float noise in a legitimate fit stays far
+    // below the slack; a corrupted row inverts quantiles by much more.
+    let probe_monotone = |m: &Moments| {
+        let vals = quantile_model.predict(m).as_array();
+        let scale = vals.iter().fold(1e-300f64, |a, v| a.max(v.abs()));
+        vals.windows(2).all(|w| w[1] - w[0] >= -1e-9 * scale)
+    };
+    let canonical = Moments {
+        mean: 20e-12,
+        std: 3e-12,
+        skewness: 0.8,
+        kurtosis: 4.0,
+        n: 1000,
+    };
+    if !probe_monotone(&canonical) {
+        return Err(ParseCoeffError::NonMonotone("the canonical probe".into()));
+    }
+    for (name, cal) in &calibrations {
+        if !probe_monotone(&cal.reference) {
+            return Err(ParseCoeffError::NonMonotone(format!(
+                "cell {name}'s reference moments"
+            )));
+        }
+    }
+
     let mut wire_model = WireVariabilityModel::from_raw(
         wire_xw.ok_or(ParseCoeffError::MissingSection("WIRE-XW"))?,
         wire_xwm.ok_or(ParseCoeffError::MissingSection("WIRE-XWM"))?,
@@ -424,6 +471,61 @@ mod tests {
         assert!(matches!(
             read_coefficients(&tech, text),
             Err(ParseCoeffError::BadRecord(2))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_coefficients() {
+        let (tech, timer) = tiny_timer();
+        let text = write_coefficients(&timer);
+        // Poison one QMODEL coefficient with NaN.
+        let poisoned: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("QMODEL 0") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    let n = parts.len();
+                    parts[n - 1] = "NaN";
+                    parts.join(" ") + "\n"
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(matches!(
+            read_coefficients(&tech, &poisoned),
+            Err(ParseCoeffError::NonFinite(_))
+        ));
+        // An infinite WIRE-CELL coefficient is rejected too.
+        let inf = text.replace("WIRE-RFO4 ", "WIRE-CELL ghost inf\nWIRE-RFO4 ");
+        assert!(matches!(
+            read_coefficients(&tech, &inf),
+            Err(ParseCoeffError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_quantile_rows() {
+        let (tech, timer) = tiny_timer();
+        let text = write_coefficients(&timer);
+        // Crush the +3σ intercept: the σ-normalized residual then drags
+        // q(+3σ) a thousand sigmas below q(−3σ), which the monotonicity
+        // probe must catch.
+        let poisoned: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("QMODEL 3 ") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    parts[2] = "-1e3";
+                    parts.join(" ") + "\n"
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(matches!(
+            read_coefficients(&tech, &poisoned),
+            Err(ParseCoeffError::NonMonotone(_))
         ));
     }
 }

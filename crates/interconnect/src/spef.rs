@@ -35,6 +35,14 @@ pub enum ParseSpefError {
     BadRecord(usize),
     /// Node ids must be dense and in order (parent before child).
     BadTopology(usize),
+    /// A `*NET` name was defined twice in the same file.
+    DuplicateNet(usize, String),
+    /// A `*N` record redefined an already-declared node id.
+    DuplicateNode(usize),
+    /// A `*N` parent or `*S` sink referenced a node not yet declared.
+    UndeclaredNode(usize),
+    /// A resistance or capacitance was negative or not finite.
+    BadValue(usize),
     /// The file ended before `*END`.
     UnexpectedEof,
 }
@@ -45,7 +53,34 @@ impl std::fmt::Display for ParseSpefError {
             ParseSpefError::MissingHeader => write!(f, "missing *SPEF-LITE header"),
             ParseSpefError::BadRecord(l) => write!(f, "malformed record at line {l}"),
             ParseSpefError::BadTopology(l) => write!(f, "invalid tree topology at line {l}"),
+            ParseSpefError::DuplicateNet(l, n) => {
+                write!(f, "duplicate *NET '{n}' at line {l}")
+            }
+            ParseSpefError::DuplicateNode(l) => {
+                write!(f, "duplicate node definition at line {l}")
+            }
+            ParseSpefError::UndeclaredNode(l) => {
+                write!(f, "reference to undeclared node at line {l}")
+            }
+            ParseSpefError::BadValue(l) => {
+                write!(f, "negative or non-finite R/C value at line {l}")
+            }
             ParseSpefError::UnexpectedEof => write!(f, "unexpected end of file before *END"),
+        }
+    }
+}
+
+impl ParseSpefError {
+    /// The 1-based source line the error points at, when known.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ParseSpefError::BadRecord(l)
+            | ParseSpefError::BadTopology(l)
+            | ParseSpefError::DuplicateNet(l, _)
+            | ParseSpefError::DuplicateNode(l)
+            | ParseSpefError::UndeclaredNode(l)
+            | ParseSpefError::BadValue(l) => Some(*l),
+            ParseSpefError::MissingHeader | ParseSpefError::UnexpectedEof => None,
         }
     }
 }
@@ -105,6 +140,7 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
     }
 
     let mut nets = Vec::new();
+    let mut seen_names = std::collections::HashSet::new();
     while let Some((lineno, line)) = lines.next() {
         let line = line.trim();
         if line.is_empty() {
@@ -115,6 +151,9 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
             .ok_or(ParseSpefError::BadRecord(lineno + 1))?
             .trim()
             .to_string();
+        if !seen_names.insert(name.clone()) {
+            return Err(ParseSpefError::DuplicateNet(lineno + 1, name));
+        }
 
         let mut tree: Option<RcTree> = None;
         let mut node_count = 0usize;
@@ -133,8 +172,14 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
                     next_num::<f64>(&mut it, lineno)?,
                     next_num::<f64>(&mut it, lineno)?,
                 );
-                if id != node_count {
+                if id < node_count {
+                    return Err(ParseSpefError::DuplicateNode(lineno + 1));
+                }
+                if id > node_count {
                     return Err(ParseSpefError::BadTopology(lineno + 1));
+                }
+                if !res.is_finite() || !cap.is_finite() || res < 0.0 || cap < 0.0 {
+                    return Err(ParseSpefError::BadValue(lineno + 1));
                 }
                 if id == 0 {
                     if parent != -1 {
@@ -145,8 +190,11 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
                     let t = tree
                         .as_mut()
                         .ok_or(ParseSpefError::BadTopology(lineno + 1))?;
-                    if parent < 0 || parent as usize >= id {
+                    if parent < 0 {
                         return Err(ParseSpefError::BadTopology(lineno + 1));
+                    }
+                    if parent as usize >= id {
+                        return Err(ParseSpefError::UndeclaredNode(lineno + 1));
                     }
                     t.add_node(node_id(parent as usize), res, cap);
                 }
@@ -160,7 +208,7 @@ pub fn parse(text: &str) -> Result<Vec<SpefNet>, ParseSpefError> {
                     .as_mut()
                     .ok_or(ParseSpefError::BadTopology(lineno + 1))?;
                 if idx >= t.len() {
-                    return Err(ParseSpefError::BadTopology(lineno + 1));
+                    return Err(ParseSpefError::UndeclaredNode(lineno + 1));
                 }
                 t.mark_sink(node_id(idx));
             } else if !line.is_empty() {
@@ -224,7 +272,39 @@ mod tests {
     #[test]
     fn rejects_orphan_topology() {
         let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*N 1 5 10 1e-16\n*END\n";
-        assert!(matches!(parse(text), Err(ParseSpefError::BadTopology(_))));
+        assert_eq!(parse(text), Err(ParseSpefError::UndeclaredNode(4)));
+    }
+
+    #[test]
+    fn rejects_duplicate_node_definition() {
+        let text =
+            "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*N 1 0 10 1e-16\n*N 1 0 20 1e-16\n*END\n";
+        assert_eq!(parse(text), Err(ParseSpefError::DuplicateNode(5)));
+    }
+
+    #[test]
+    fn rejects_duplicate_net_name() {
+        let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*END\n*NET x\n*N 0 -1 0 1e-16\n*END\n";
+        assert_eq!(
+            parse(text),
+            Err(ParseSpefError::DuplicateNet(5, "x".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_sink_on_undeclared_node() {
+        let text = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*S 3\n*END\n";
+        assert_eq!(parse(text), Err(ParseSpefError::UndeclaredNode(4)));
+    }
+
+    #[test]
+    fn rejects_negative_and_non_finite_values() {
+        let neg = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*N 1 0 -5 1e-16\n*END\n";
+        assert_eq!(parse(neg), Err(ParseSpefError::BadValue(4)));
+        let nan = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 NaN\n*END\n";
+        assert_eq!(parse(nan), Err(ParseSpefError::BadValue(3)));
+        let inf = "*SPEF-LITE 1\n*NET x\n*N 0 -1 0 1e-16\n*N 1 0 inf 1e-16\n*END\n";
+        assert_eq!(parse(inf), Err(ParseSpefError::BadValue(4)));
     }
 
     #[test]

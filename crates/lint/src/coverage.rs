@@ -1,0 +1,171 @@
+//! Library-coverage checks: every referenced cell must have a calibration
+//! in the timer, and operating points the analysis will query should stay
+//! inside the characterized slew×load grid rather than extrapolate.
+
+use crate::diagnostic::{LintReport, Location, Severity};
+use nsigma_cells::characterize::CharacterizeConfig;
+use nsigma_core::sta::NsigmaTimer;
+use nsigma_mc::design::Design;
+use nsigma_netlist::ir::NetDriver;
+use std::collections::BTreeSet;
+
+/// Relative slack before an operating point counts as off-grid. The grid
+/// edges are exact constants, so this only absorbs float noise.
+const GRID_EPS: f64 = 1e-9;
+
+/// Lints a design's library usage against a built timer.
+pub fn lint_coverage(design: &Design, timer: &NsigmaTimer) -> LintReport {
+    let mut report = LintReport::new();
+    let name = design.netlist.name();
+
+    // LB001: every referenced cell needs a moment calibration, otherwise
+    // the timer cannot price its stages at all.
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for g in design.netlist.gates() {
+        if g.cell.index() < design.lib.len() {
+            used.insert(design.lib.cell(g.cell).name());
+        }
+    }
+    for cell in used {
+        if !timer.calibrations().contains_key(cell) {
+            report.push(
+                "LB001",
+                Severity::Error,
+                Location::Object(format!("design '{name}' / cell '{cell}'")),
+                format!("cell '{cell}' is used by the design but has no calibration"),
+            );
+        }
+    }
+
+    // LB002: operating points outside the characterized grid force the
+    // calibration polynomials to extrapolate. The grid axes are the fixed
+    // standard sweep (DESIGN.md §2), shared by every characterization run.
+    let grid = CharacterizeConfig::standard(1, 0);
+    let (s_min, s_max) = (grid.slews[0], *grid.slews.last().expect("slew axis"));
+    let l_max = *grid.loads.last().expect("load axis");
+    let slew = timer.input_slew();
+    if slew < s_min * (1.0 - GRID_EPS) || slew > s_max * (1.0 + GRID_EPS) {
+        report.push(
+            "LB002",
+            Severity::Warn,
+            Location::Object(format!("design '{name}' / input slew")),
+            format!(
+                "input slew {slew:e} s is outside the characterized range [{s_min:e}, {s_max:e}]"
+            ),
+        );
+    }
+    // Only the upper edge matters for loads: below the grid floor the
+    // delay surface is nearly linear and the polynomials stay tame, but
+    // beyond the last column they extrapolate into heavy-load territory
+    // the characterization never saw.
+    for id in design.netlist.net_ids() {
+        let NetDriver::Gate(g) = design.netlist.net(id).driver else {
+            continue;
+        };
+        let load = design.stage_effective_load(id);
+        if load > l_max * (1.0 + GRID_EPS) {
+            let gate = &design.netlist.gate(g).name;
+            report.push(
+                "LB002",
+                Severity::Warn,
+                Location::Object(format!("design '{name}' / gate '{gate}'")),
+                format!(
+                    "gate '{gate}' drives {load:e} F, beyond the characterized \
+                     load limit {l_max:e} F"
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::with_code;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::CellLibrary;
+    use nsigma_core::sta::TimerConfig;
+    use nsigma_netlist::logic::{LogicCircuit, LogicGate, LogicOp};
+    use nsigma_process::Technology;
+
+    fn lib_of(kinds: &[(CellKind, u32)]) -> CellLibrary {
+        let mut lib = CellLibrary::new();
+        for &(k, s) in kinds {
+            lib.add(Cell::new(k, s));
+        }
+        lib
+    }
+
+    fn inverter_pair(lib: &CellLibrary) -> Design {
+        let mut c = LogicCircuit::new("pair");
+        c.inputs = vec!["a".into()];
+        c.outputs = vec!["y".into()];
+        c.gates = vec![
+            LogicGate {
+                output: "t".into(),
+                op: LogicOp::Not,
+                inputs: vec!["a".into()],
+            },
+            LogicGate {
+                output: "y".into(),
+                op: LogicOp::Not,
+                inputs: vec!["t".into()],
+            },
+        ];
+        let netlist = nsigma_netlist::mapping::map_to_cells(&c, lib).unwrap();
+        Design::with_generated_parasitics(Technology::synthetic_28nm(), lib.clone(), netlist, 3)
+    }
+
+    fn quick_timer(lib: &CellLibrary) -> NsigmaTimer {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = TimerConfig::standard(1);
+        cfg.char_samples = 400;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 300;
+        NsigmaTimer::build(&tech, lib, &cfg).unwrap()
+    }
+
+    #[test]
+    fn covered_design_is_clean() {
+        let lib = lib_of(&[(CellKind::Inv, 1), (CellKind::Inv, 4)]);
+        let design = inverter_pair(&lib);
+        let timer = quick_timer(&lib);
+        let r = lint_coverage(&design, &timer);
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn detects_missing_calibration() {
+        let lib = lib_of(&[(CellKind::Inv, 1), (CellKind::Inv, 4)]);
+        let design = inverter_pair(&lib);
+        // Characterize a library that lacks the cells the design uses.
+        let other = lib_of(&[(CellKind::Buf, 1)]);
+        let timer = quick_timer(&other);
+        let r = lint_coverage(&design, &timer);
+        assert!(!with_code(&r, "LB001").is_empty(), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn detects_off_grid_operating_point() {
+        let lib = lib_of(&[(CellKind::Inv, 1), (CellKind::Inv, 4)]);
+        let design = inverter_pair(&lib);
+        let mut timer = quick_timer(&lib);
+        // Rebuild the timer around an input slew far beyond the 300 ps
+        // grid edge; the model would have to extrapolate there.
+        timer = NsigmaTimer::from_parts(
+            Technology::synthetic_28nm(),
+            timer.quantile_model().clone(),
+            timer.calibrations().clone(),
+            timer.wire_model().clone(),
+            2e-9,
+        );
+        let r = lint_coverage(&design, &timer);
+        let off = with_code(&r, "LB002");
+        assert_eq!(off.len(), 1);
+        assert_eq!(off[0].severity, Severity::Warn);
+        assert!(!r.has_errors());
+    }
+}

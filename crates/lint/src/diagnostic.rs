@@ -1,0 +1,309 @@
+//! The diagnostic vocabulary: severities, source locations, individual
+//! findings, and the report that collects them, with both human-readable
+//! and NDJSON renderers.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+///
+/// Ordered so that `Info < Warn < Error`, letting callers gate on
+/// "anything at least this severe".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never gates anything.
+    Info,
+    /// Suspicious but analyzable; reported, does not gate.
+    Warn,
+    /// The input violates an invariant the timing flow depends on.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where a finding points: a position in a parsed source file, or a path
+/// into an in-memory object for generated inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A position in a parsed input file (`.bench`, SPEF-lite, coefficient
+    /// store). `line`/`column` are 1-based; `column` is absent when only
+    /// the line is known.
+    Source {
+        /// File name or path as given by the caller.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column, when known.
+        column: Option<usize>,
+    },
+    /// A path into a generated or in-memory object, e.g.
+    /// `netlist 'c17' / gate 'G10'`.
+    Object(String),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Source {
+                file,
+                line,
+                column: Some(c),
+            } => write!(f, "{file}:{line}:{c}"),
+            Location::Source {
+                file,
+                line,
+                column: None,
+            } => write!(f, "{file}:{line}"),
+            Location::Object(path) => f.write_str(path),
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, a location, and a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`NL###`/`RC###`/`LB###`/`CF###`).
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}",
+            self.severity, self.code, self.message, self.location
+        )
+    }
+}
+
+/// A collection of findings from one or more lint passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// The findings, in the order the passes produced them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+        });
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// True when no finding has [`Severity::Error`].
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// True when at least one finding has [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The distinct codes of error-severity findings, sorted.
+    pub fn error_codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Counts of `(errors, warnings, infos)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warn => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Renders the report for a terminal: one block per diagnostic plus a
+    /// trailing summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            writeln!(out, "{d}").expect("string write");
+        }
+        let (e, w, i) = self.counts();
+        writeln!(out, "{e} error(s), {w} warning(s), {i} info(s)").expect("string write");
+        out
+    }
+
+    /// Renders the report as newline-delimited JSON: one object per
+    /// diagnostic with `code`, `severity`, `message`, and either
+    /// `file`/`line`(/`column`) or `object` fields.
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str("{\"code\":");
+            json_string(&mut out, d.code);
+            out.push_str(",\"severity\":");
+            json_string(&mut out, d.severity.label());
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            match &d.location {
+                Location::Source { file, line, column } => {
+                    out.push_str(",\"file\":");
+                    json_string(&mut out, file);
+                    write!(out, ",\"line\":{line}").expect("string write");
+                    if let Some(c) = column {
+                        write!(out, ",\"column\":{c}").expect("string write");
+                    }
+                }
+                Location::Object(path) => {
+                    out.push_str(",\"object\":");
+                    json_string(&mut out, path);
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(
+            "NL001",
+            Severity::Error,
+            Location::Source {
+                file: "c17.bench".into(),
+                line: 7,
+                column: Some(3),
+            },
+            "combinational loop",
+        );
+        r.push(
+            "LB002",
+            Severity::Warn,
+            Location::Object("netlist 'c17' / gate 'G10'".into()),
+            "load 8.1 fF above grid max 6 fF",
+        );
+        r
+    }
+
+    #[test]
+    fn severity_orders_and_labels() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn report_accounting() {
+        let r = sample();
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.error_codes(), vec!["NL001"]);
+        assert_eq!(r.counts(), (1, 1, 0));
+        assert!(LintReport::new().is_clean());
+    }
+
+    #[test]
+    fn human_rendering_shows_location_and_summary() {
+        let text = sample().render_human();
+        assert!(text.contains("error[NL001]: combinational loop"));
+        assert!(text.contains("--> c17.bench:7:3"));
+        assert!(text.contains("--> netlist 'c17' / gate 'G10'"));
+        assert!(text.contains("1 error(s), 1 warning(s), 0 info(s)"));
+    }
+
+    #[test]
+    fn ndjson_rendering_is_line_per_diagnostic() {
+        let text = sample().render_ndjson();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"code\":\"NL001\""));
+        assert!(lines[0].contains("\"file\":\"c17.bench\",\"line\":7,\"column\":3"));
+        assert!(lines[1].contains("\"object\":\"netlist 'c17' / gate 'G10'\""));
+    }
+
+    #[test]
+    fn ndjson_escapes_control_characters() {
+        let mut r = LintReport::new();
+        r.push(
+            "CF001",
+            Severity::Error,
+            Location::Object("a\"b\\c".into()),
+            "line1\nline2\ttab",
+        );
+        let text = r.render_ndjson();
+        assert!(text.contains("\\\"b\\\\c"));
+        assert!(text.contains("line1\\nline2\\ttab"));
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -13,30 +13,96 @@
 
 use crate::logic::{LogicCircuit, LogicGate, LogicOp};
 
-/// Error parsing `.bench` text.
+/// Error parsing `.bench` text. Every variant carries the 1-based source
+/// line and column of the offending token, so downstream diagnostics can
+/// point at the exact spot in the file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseBenchError {
-    /// A line could not be parsed; carries the 1-based line number.
-    BadLine(usize),
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based column of the first offending character.
+        column: usize,
+    },
     /// An unsupported gate keyword (e.g. `DFF` — ISCAS85 is combinational).
-    UnsupportedGate(usize, String),
-    /// A gate reads a signal that is never defined.
-    UndefinedSignal(String),
+    UnsupportedGate {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based column where the keyword starts.
+        column: usize,
+        /// The unrecognized keyword.
+        keyword: String,
+    },
+    /// A gate or output reads a signal that is never defined.
+    UndefinedSignal {
+        /// 1-based source line of the reference.
+        line: usize,
+        /// 1-based column where the signal name starts.
+        column: usize,
+        /// The undefined signal name.
+        signal: String,
+    },
+}
+
+impl ParseBenchError {
+    /// The `(line, column)` position the error points at, both 1-based.
+    pub fn position(&self) -> (usize, usize) {
+        match self {
+            ParseBenchError::BadLine { line, column }
+            | ParseBenchError::UnsupportedGate { line, column, .. }
+            | ParseBenchError::UndefinedSignal { line, column, .. } => (*line, *column),
+        }
+    }
 }
 
 impl std::fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseBenchError::BadLine(l) => write!(f, "malformed .bench line {l}"),
-            ParseBenchError::UnsupportedGate(l, kw) => {
-                write!(f, "unsupported gate '{kw}' at line {l}")
+            ParseBenchError::BadLine { line, column } => {
+                write!(f, "malformed .bench line at {line}:{column}")
             }
-            ParseBenchError::UndefinedSignal(s) => write!(f, "undefined signal '{s}'"),
+            ParseBenchError::UnsupportedGate {
+                line,
+                column,
+                keyword,
+            } => {
+                write!(f, "unsupported gate '{keyword}' at {line}:{column}")
+            }
+            ParseBenchError::UndefinedSignal {
+                line,
+                column,
+                signal,
+            } => {
+                write!(f, "undefined signal '{signal}' at {line}:{column}")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseBenchError {}
+
+/// 1-based column of `token` in `raw`, preferring word-boundary matches so
+/// that short signal names do not anchor inside longer identifiers.
+fn column_of(raw: &str, token: &str) -> usize {
+    if token.is_empty() {
+        return 1;
+    }
+    let is_word = |c: char| c.is_alphanumeric() || c == '_';
+    let bytes = raw.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = raw[from..].find(token) {
+        let start = from + rel;
+        let end = start + token.len();
+        let before_ok = start == 0 || !is_word(raw[..start].chars().next_back().unwrap_or(' '));
+        let after_ok = end >= bytes.len() || !is_word(raw[end..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return start + 1;
+        }
+        from = end;
+    }
+    raw.find(token).map(|i| i + 1).unwrap_or(1)
+}
 
 /// Parses `.bench` text into a [`LogicCircuit`].
 ///
@@ -57,60 +123,73 @@ impl std::error::Error for ParseBenchError {}
 /// ```
 pub fn parse(name: &str, text: &str) -> Result<LogicCircuit, ParseBenchError> {
     let mut circuit = LogicCircuit::new(name);
-    for (lineno, raw) in text.lines().enumerate() {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    // Source line of each parsed gate / OUTPUT declaration, so undefined-
+    // signal errors in the validation pass below can point at their origin.
+    let mut gate_lines = Vec::new();
+    let mut output_lines = Vec::new();
+    for (lineno, raw) in raw_lines.iter().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         let lineno = lineno + 1;
+        let bad_line = || ParseBenchError::BadLine {
+            line: lineno,
+            column: raw.len() - raw.trim_start().len() + 1,
+        };
         if let Some(rest) = line.strip_prefix("INPUT(") {
-            let sig = rest
-                .strip_suffix(')')
-                .ok_or(ParseBenchError::BadLine(lineno))?;
+            let sig = rest.strip_suffix(')').ok_or_else(bad_line)?;
             circuit.inputs.push(sig.trim().to_string());
         } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
-            let sig = rest
-                .strip_suffix(')')
-                .ok_or(ParseBenchError::BadLine(lineno))?;
+            let sig = rest.strip_suffix(')').ok_or_else(bad_line)?;
             circuit.outputs.push(sig.trim().to_string());
+            output_lines.push(lineno);
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let output = lhs.trim().to_string();
             let rhs = rhs.trim();
-            let open = rhs.find('(').ok_or(ParseBenchError::BadLine(lineno))?;
+            let open = rhs.find('(').ok_or_else(bad_line)?;
             let kw = rhs[..open].trim();
-            let args = rhs[open + 1..]
-                .strip_suffix(')')
-                .ok_or(ParseBenchError::BadLine(lineno))?;
-            let op = LogicOp::from_keyword(kw)
-                .ok_or_else(|| ParseBenchError::UnsupportedGate(lineno, kw.to_string()))?;
+            let args = rhs[open + 1..].strip_suffix(')').ok_or_else(bad_line)?;
+            let op = LogicOp::from_keyword(kw).ok_or_else(|| ParseBenchError::UnsupportedGate {
+                line: lineno,
+                column: column_of(raw, kw),
+                keyword: kw.to_string(),
+            })?;
             let inputs: Vec<String> = args
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
             if inputs.is_empty() {
-                return Err(ParseBenchError::BadLine(lineno));
+                return Err(bad_line());
             }
             circuit.gates.push(LogicGate { output, op, inputs });
+            gate_lines.push(lineno);
         } else {
-            return Err(ParseBenchError::BadLine(lineno));
+            return Err(bad_line());
         }
     }
 
     // Validate that every referenced signal is defined.
+    let undefined = |line: usize, signal: &str| ParseBenchError::UndefinedSignal {
+        line,
+        column: column_of(raw_lines.get(line - 1).unwrap_or(&""), signal),
+        signal: signal.to_string(),
+    };
     let mut defined: std::collections::HashSet<&str> =
         circuit.inputs.iter().map(|s| s.as_str()).collect();
     defined.extend(circuit.gates.iter().map(|g| g.output.as_str()));
-    for g in &circuit.gates {
+    for (g, &line) in circuit.gates.iter().zip(&gate_lines) {
         for i in &g.inputs {
             if !defined.contains(i.as_str()) {
-                return Err(ParseBenchError::UndefinedSignal(i.clone()));
+                return Err(undefined(line, i));
             }
         }
     }
-    for o in &circuit.outputs {
+    for (o, &line) in circuit.outputs.iter().zip(&output_lines) {
         if !defined.contains(o.as_str()) {
-            return Err(ParseBenchError::UndefinedSignal(o.clone()));
+            return Err(undefined(line, o));
         }
     }
     Ok(circuit)
@@ -174,21 +253,67 @@ G17 = NOT(G11)
     #[test]
     fn rejects_dff() {
         let err = parse("seq", "INPUT(a)\nq = DFF(a)\n").unwrap_err();
-        assert!(matches!(err, ParseBenchError::UnsupportedGate(2, kw) if kw == "DFF"));
+        assert_eq!(
+            err,
+            ParseBenchError::UnsupportedGate {
+                line: 2,
+                column: 5,
+                keyword: "DFF".into()
+            }
+        );
     }
 
     #[test]
     fn rejects_undefined_signal() {
         let err = parse("bad", "INPUT(a)\ny = NOT(zz)\nOUTPUT(y)\n").unwrap_err();
-        assert_eq!(err, ParseBenchError::UndefinedSignal("zz".into()));
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedSignal {
+                line: 2,
+                column: 9,
+                signal: "zz".into()
+            }
+        );
+        assert_eq!(err.position(), (2, 9));
+    }
+
+    #[test]
+    fn undefined_output_points_at_declaration() {
+        let err = parse("bad", "INPUT(a)\ny = NOT(a)\nOUTPUT(qq)\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedSignal {
+                line: 3,
+                column: 8,
+                signal: "qq".into()
+            }
+        );
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(
+        assert_eq!(
             parse("bad", "whatever\n"),
-            Err(ParseBenchError::BadLine(1))
-        ));
+            Err(ParseBenchError::BadLine { line: 1, column: 1 })
+        );
+        assert_eq!(
+            parse("bad", "   nonsense here\n"),
+            Err(ParseBenchError::BadLine { line: 1, column: 4 })
+        );
+    }
+
+    #[test]
+    fn column_search_respects_word_boundaries() {
+        // `a` appears inside `aa` first; the standalone reference must win.
+        let err = parse("bad", "INPUT(aa)\ny = NAND(aa, a)\nOUTPUT(y)\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::UndefinedSignal {
+                line: 2,
+                column: 14,
+                signal: "a".into()
+            }
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`core`] — **the paper's contribution**: Table I quantile model,
 //!   eqs. 1–3 moment calibration, eqs. 5–9 wire variability, eq. 10 STA;
 //! * [`baselines`] — LSN, Burr, corner STA, ML wire and correction-factor
-//!   comparison methods.
+//!   comparison methods;
+//! * [`lint`] — static analysis of netlists, parasitics, library coverage
+//!   and model stores, with stable diagnostic codes that gate the CLI and
+//!   the server before any timing query runs.
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@ pub use nsigma_baselines as baselines;
 pub use nsigma_cells as cells;
 pub use nsigma_core as core;
 pub use nsigma_interconnect as interconnect;
+pub use nsigma_lint as lint;
 pub use nsigma_mc as mc;
 pub use nsigma_netlist as netlist;
 pub use nsigma_process as process;

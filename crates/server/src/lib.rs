@@ -35,6 +35,11 @@
 //! * **Graceful shutdown.** The listener stops accepting, connections
 //!   finish their in-flight request, and the worker pool drains everything
 //!   already queued before the process exits.
+//! * **Linted registration.** `register_design` runs the `nsigma-lint`
+//!   static-analysis pass and rejects designs carrying error-severity
+//!   findings with a typed `lint_failed` error naming the diagnostic
+//!   codes; `"lint": false` (or [`ServerConfig::lint_on_register`]) opts
+//!   out, and the `lint_design` endpoint re-runs the pass on demand.
 //!
 //! Module map: [`json`] (hand-rolled parser/writer), [`protocol`]
 //! (request/response schema), [`pool`] (bounded queue + workers),

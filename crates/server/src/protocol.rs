@@ -9,11 +9,17 @@
 //! response := { "ok": true, ...payload } "\n"
 //!           | { "ok": false, "code": <error-code>, "error": <message> } "\n"
 //!
-//! endpoint := "register_design" | "analyze_path" | "worst_paths"
-//!           | "quantile" | "eco_resize" | "stats" | "shutdown"
+//! endpoint := "register_design" | "lint_design" | "analyze_path"
+//!           | "worst_paths" | "quantile" | "eco_resize" | "stats"
+//!           | "shutdown"
 //! error-code := "bad_request" | "not_found" | "overloaded"
-//!             | "deadline" | "internal"
+//!             | "deadline" | "lint_failed" | "internal"
 //! ```
+//!
+//! `register_design` lints the generated design before admitting it and
+//! answers `lint_failed` (listing the offending diagnostic codes) when
+//! error-severity findings exist; passing `"lint": false` restores the
+//! unchecked behavior.
 
 use crate::json::{self, Value};
 
@@ -28,6 +34,13 @@ pub enum Request {
         generator: Generator,
         /// Parasitic-generation seed.
         seed: u64,
+        /// Whether to lint before admitting the design (default `true`).
+        lint: bool,
+    },
+    /// Lint a registered design and return its diagnostics.
+    LintDesign {
+        /// Design name.
+        design: String,
     },
     /// Analyze the nominal critical path of a registered design.
     AnalyzePath {
@@ -72,6 +85,9 @@ pub enum Request {
 pub enum Generator {
     /// A named ISCAS85-style benchmark (`"c432"` … `"c7552"`).
     Iscas(String),
+    /// Client-supplied `.bench` netlist text (may contain structural
+    /// defects; that is what the lint gate is for).
+    Bench(String),
     /// A layered random DAG with explicit dimensions.
     Synthetic {
         /// Gate count.
@@ -92,6 +108,7 @@ impl Request {
     pub fn endpoint(&self) -> &'static str {
         match self {
             Request::RegisterDesign { .. } => "register_design",
+            Request::LintDesign { .. } => "lint_design",
             Request::AnalyzePath { .. } => "analyze_path",
             Request::WorstPaths { .. } => "worst_paths",
             Request::Quantile { .. } => "quantile",
@@ -165,11 +182,22 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .map(|s| s.as_u64().ok_or(ProtoError::BadField("seed")))
                 .transpose()?
                 .unwrap_or(1);
+            let lint = match v.get("lint") {
+                None => true,
+                Some(f) => f.as_bool().ok_or(ProtoError::BadField("lint"))?,
+            };
             let generator = if let Some(iscas) = v.get("iscas") {
                 Generator::Iscas(
                     iscas
                         .as_str()
                         .ok_or(ProtoError::BadField("iscas"))?
+                        .to_string(),
+                )
+            } else if let Some(bench) = v.get("bench") {
+                Generator::Bench(
+                    bench
+                        .as_str()
+                        .ok_or(ProtoError::BadField("bench"))?
                         .to_string(),
                 )
             } else {
@@ -185,8 +213,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 name,
                 generator,
                 seed,
+                lint,
             })
         }
+        "lint_design" => Ok(Request::LintDesign {
+            design: str_field(&v, "design")?,
+        }),
         "analyze_path" => Ok(Request::AnalyzePath {
             design: str_field(&v, "design")?,
         }),
@@ -287,7 +319,8 @@ mod tests {
             Request::RegisterDesign {
                 name: "a".into(),
                 generator: Generator::Iscas("c432".into()),
-                seed: 1
+                seed: 1,
+                lint: true
             }
         );
         let synth = parse_request(
@@ -305,8 +338,35 @@ mod tests {
                     depth: 8,
                     seed: 9
                 },
-                seed: 9
+                seed: 9,
+                lint: true
             }
+        );
+        let bench = parse_request(
+            r#"{"cmd":"register_design","name":"c","bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","lint":false}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            bench,
+            Request::RegisterDesign {
+                name: "c".into(),
+                generator: Generator::Bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n".into()),
+                seed: 1,
+                lint: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"register_design","name":"c","iscas":"c17","lint":3}"#)
+                .unwrap_err(),
+            ProtoError::BadField("lint")
+        );
+    }
+
+    #[test]
+    fn parses_lint_design() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"lint_design","design":"d"}"#).unwrap(),
+            Request::LintDesign { design: "d".into() }
         );
     }
 

@@ -24,6 +24,7 @@ use nsigma_core::{
 };
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::find_critical_path;
+use nsigma_netlist::bench_format;
 use nsigma_netlist::generators::random_dag::{synthetic_circuit, Iscas85, SyntheticConfig};
 use nsigma_netlist::mapping::map_to_cells;
 use nsigma_netlist::{k_longest_paths_by, Path};
@@ -56,6 +57,10 @@ pub struct ServerConfig {
     pub coeff_path: Option<PathBuf>,
     /// Shard count of the design store.
     pub store_shards: usize,
+    /// Lint designs on `register_design` and reject those with
+    /// error-severity findings. Individual requests can still opt out with
+    /// `"lint": false`; turning this off disables the gate entirely.
+    pub lint_on_register: bool,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
             timer: TimerConfig::standard(1),
             coeff_path: None,
             store_shards: 8,
+            lint_on_register: true,
         }
     }
 }
@@ -86,6 +92,7 @@ pub struct Engine {
     /// parse failures and overload rejections.
     pub metrics: Metrics,
     deadline: Duration,
+    lint_on_register: bool,
     shutdown: AtomicBool,
     started: Instant,
     threads: usize,
@@ -107,6 +114,7 @@ impl Engine {
             store: DesignStore::new(cfg.store_shards),
             metrics: Metrics::new(),
             deadline: cfg.deadline,
+            lint_on_register: cfg.lint_on_register,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             threads: cfg.threads,
@@ -179,7 +187,9 @@ impl Engine {
                 name,
                 generator,
                 seed,
-            } => self.register_design(name, generator, seed),
+                lint,
+            } => self.register_design(name, generator, seed, lint),
+            Request::LintDesign { design } => self.lint_design(&design),
             Request::AnalyzePath { design } => self.analyze_path(&design),
             Request::WorstPaths { design, k } => self.worst_paths(&design, k),
             Request::Quantile {
@@ -200,7 +210,14 @@ impl Engine {
         }
     }
 
-    fn register_design(&self, name: String, generator: Generator, seed: u64) -> ExecResult {
+    fn register_design(
+        &self,
+        name: String,
+        generator: Generator,
+        seed: u64,
+        lint: bool,
+    ) -> ExecResult {
+        let lint = lint && self.lint_on_register;
         let circuit = match generator {
             Generator::Iscas(bench) => Iscas85::ALL
                 .into_iter()
@@ -234,11 +251,25 @@ impl Engine {
                     seed,
                 })
             }
+            Generator::Bench(text) => bench_format::parse(&name, &text)
+                .map_err(|e| ("bad_request", format!("bench source: {e}")))?,
         };
+        if lint {
+            let report = nsigma_lint::lint_logic(&circuit);
+            if report.has_errors() {
+                return Err(lint_failed(&report));
+            }
+        }
         let netlist = map_to_cells(&circuit, &self.lib)
             .map_err(|e| ("internal", format!("technology mapping failed: {e}")))?;
         let design =
             Design::with_generated_parasitics(self.tech.clone(), self.lib.clone(), netlist, seed);
+        if lint {
+            let report = nsigma_lint::lint_design(&design, &self.timer);
+            if report.has_errors() {
+                return Err(lint_failed(&report));
+            }
+        }
         let gates = design.netlist.num_gates();
         let inc = IncrementalTimer::new(Arc::clone(&self.timer), design, MergeRule::Pessimistic);
         let worst = inc.worst_output();
@@ -252,6 +283,20 @@ impl Engine {
             ("design", Value::Str(name)),
             ("gates", Value::Num(gates as f64)),
             ("worst_quantiles", quantiles_json(&worst)),
+        ])
+    }
+
+    fn lint_design(&self, design: &str) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let inc = slot.read().expect("design slot poisoned");
+        let report = nsigma_lint::lint_design(inc.design(), &self.timer);
+        let (errors, warnings, infos) = report.counts();
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("errors", Value::Num(errors as f64)),
+            ("warnings", Value::Num(warnings as f64)),
+            ("infos", Value::Num(infos as f64)),
+            ("diagnostics", diagnostics_json(&report)),
         ])
     }
 
@@ -425,6 +470,51 @@ fn integer_level(n: i32) -> SigmaLevel {
         2 => SigmaLevel::PlusTwo,
         _ => SigmaLevel::PlusThree,
     }
+}
+
+/// The typed rejection for `register_design`: the distinct error codes in
+/// the message, so a client can react without parsing the diagnostics.
+fn lint_failed(report: &nsigma_lint::LintReport) -> (&'static str, String) {
+    (
+        "lint_failed",
+        format!("design failed lint: {}", report.error_codes().join(", ")),
+    )
+}
+
+/// A lint report as a JSON array of diagnostic objects, mirroring the
+/// NDJSON field names (`code`, `severity`, `message`, `file`/`line` or
+/// `object`).
+fn diagnostics_json(report: &nsigma_lint::LintReport) -> Value {
+    use nsigma_lint::Location;
+    Value::Arr(
+        report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut fields = vec![
+                    ("code".to_string(), Value::Str(d.code.to_string())),
+                    (
+                        "severity".to_string(),
+                        Value::Str(d.severity.label().to_string()),
+                    ),
+                    ("message".to_string(), Value::Str(d.message.clone())),
+                ];
+                match &d.location {
+                    Location::Source { file, line, column } => {
+                        fields.push(("file".to_string(), Value::Str(file.clone())));
+                        fields.push(("line".to_string(), Value::Num(*line as f64)));
+                        if let Some(c) = column {
+                            fields.push(("column".to_string(), Value::Num(*c as f64)));
+                        }
+                    }
+                    Location::Object(path) => {
+                        fields.push(("object".to_string(), Value::Str(path.clone())));
+                    }
+                }
+                Value::Obj(fields)
+            })
+            .collect(),
+    )
 }
 
 /// A quantile set as a 7-element JSON array, −3σ first. `{:e}` round-trip

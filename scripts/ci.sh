@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Offline-safe — all dependencies resolve
-# to in-repo path crates (compat/*), so no network is ever needed.
+# Tier-1 gate: format, build, test, lint. Offline-safe — all dependencies
+# resolve to in-repo path crates (compat/*), so no network is ever needed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# The static-analysis pass must stay clean on every generated benchmark
+# circuit (exit code is nonzero on any error-severity diagnostic).
+./target/release/nsigma-sta lint --suite generated > /dev/null
+./target/release/nsigma-sta lint --iscas c432 --ndjson > /dev/null
 
 echo "ci: all green"
