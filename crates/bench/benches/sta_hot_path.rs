@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the query hot path: legacy string-keyed
+//! whole-design analysis vs the compiled timing graph, plus the compiled
+//! path ranking. The JSON snapshot lives in `BENCH_sta.json` (see the
+//! `sta_hot_path` binary); this harness is for statistically rigorous
+//! before/after comparisons during development.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{CompiledDesign, MergeRule, QueryScratch};
+use nsigma_mc::design::Design;
+use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_netlist::PathScratch;
+use nsigma_process::Technology;
+use std::hint::black_box;
+
+struct Setup {
+    design: Design,
+    timer: NsigmaTimer,
+    compiled: CompiledDesign,
+}
+
+fn setup() -> Setup {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let netlist = map_to_cells(&Iscas85::C432.generate(), &lib).expect("maps");
+    let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 7);
+    let mut cfg = TimerConfig::standard(21);
+    cfg.char_samples = 500;
+    cfg.wire.nets = 1;
+    cfg.wire.samples = 300;
+    let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
+    let compiled = CompiledDesign::compile(&timer, design.clone());
+    Setup {
+        design,
+        timer,
+        compiled,
+    }
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("sta_hot_path");
+
+    // Warm the shared stage cache so both sides measure steady state.
+    black_box(s.timer.analyze_design(&s.design));
+
+    group.bench_function("analyze_design_legacy", |b| {
+        b.iter(|| black_box(s.timer.analyze_design(&s.design)))
+    });
+
+    let mut scratch = QueryScratch::new();
+    group.bench_function("analyze_design_compiled", |b| {
+        b.iter(|| {
+            black_box(s.compiled.analyze_design_with(
+                &s.timer,
+                MergeRule::Pessimistic,
+                &mut scratch,
+            ))
+        })
+    });
+
+    let mut paths = PathScratch::new();
+    group.bench_function("ranked_paths_compiled_k4", |b| {
+        b.iter(|| black_box(s.compiled.ranked_paths(4, &mut paths)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Load benchmark of the timing-query daemon: throughput and client-side
 //! latency of a mixed `worst_paths`/`quantile`/`eco_resize` workload at
-//! 1, 4 and 8 worker threads.
+//! 1, 4 and 8 worker threads, swept once on c432 and once on c6288
+//! (~3.2k gates) to show the compiled hot path holding up at scale.
 //!
 //! Emits `BENCH_server.json`. Percentiles are *exact* (computed from the
 //! sorted per-request latencies measured at the client), unlike the
@@ -35,7 +36,15 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn run_load(threads: usize, coeff_path: &std::path::Path) -> LoadResult {
+/// One measured sweep point: start a server at `threads` workers, warm it
+/// up, time one round of the mixed workload, shut down. Returns the
+/// per-request latencies (µs), the round's wall time and the error count.
+fn run_point(
+    threads: usize,
+    coeff_path: &std::path::Path,
+    iscas: &str,
+    requests_per_client: usize,
+) -> (Vec<f64>, Duration, usize) {
     let mut timer_cfg = TimerConfig::standard(21);
     timer_cfg.char_samples = 500;
     timer_cfg.wire.nets = 1;
@@ -53,7 +62,9 @@ fn run_load(threads: usize, coeff_path: &std::path::Path) -> LoadResult {
     // path itself.
     let mut setup = Client::connect(("127.0.0.1", port)).expect("connect");
     setup
-        .request_ok(r#"{"cmd":"register_design","name":"dut","iscas":"c432","seed":5}"#)
+        .request_ok(&format!(
+            r#"{{"cmd":"register_design","name":"dut","iscas":"{iscas}","seed":5}}"#
+        ))
         .expect("register");
     let wp = setup
         .request_ok(r#"{"cmd":"worst_paths","design":"dut","k":1}"#)
@@ -67,58 +78,104 @@ fn run_load(threads: usize, coeff_path: &std::path::Path) -> LoadResult {
         .unwrap()
         .to_string();
 
-    let t0 = Instant::now();
-    let mut latencies: Vec<f64> = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
-    let mut errors = 0usize;
-    std::thread::scope(|scope| {
-        let mut workers = Vec::new();
-        for c in 0..CLIENTS {
-            let eco_gate = &eco_gate;
-            workers.push(scope.spawn(move || {
-                let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
-                let mut lats = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                let mut errs = 0usize;
-                for i in 0..REQUESTS_PER_CLIENT {
-                    // 80 % worst_paths, 10 % quantile, 10 % eco_resize.
-                    let line = match i % 10 {
-                        8 => format!(
-                            r#"{{"cmd":"quantile","design":"dut","path":0,"sigma":{}}}"#,
-                            if i % 20 == 8 { "4.5" } else { "3" }
-                        ),
-                        9 => format!(
-                            r#"{{"cmd":"eco_resize","design":"dut","gate":"{eco_gate}","strength":{}}}"#,
-                            if (c + i) % 2 == 0 { 8 } else { 4 }
-                        ),
-                        _ => r#"{"cmd":"worst_paths","design":"dut","k":1}"#.to_string(),
-                    };
-                    let t = Instant::now();
-                    match client.request_ok(&line) {
-                        Ok(_) => lats.push(t.elapsed().as_secs_f64() * 1e6),
-                        Err(_) => errs += 1,
+    // One round of the mixed workload across all clients; returns the
+    // per-request latencies, the wall time and the error count.
+    let round = |requests_per_client: usize| -> (Vec<f64>, Duration, usize) {
+        let t0 = Instant::now();
+        let mut latencies: Vec<f64> = Vec::with_capacity(CLIENTS * requests_per_client);
+        let mut errors = 0usize;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for c in 0..CLIENTS {
+                let eco_gate = &eco_gate;
+                workers.push(scope.spawn(move || {
+                    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+                    let mut lats = Vec::with_capacity(requests_per_client);
+                    let mut errs = 0usize;
+                    for i in 0..requests_per_client {
+                        // 80 % worst_paths, 10 % quantile, 10 % eco_resize.
+                        let line = match i % 10 {
+                            8 => format!(
+                                r#"{{"cmd":"quantile","design":"dut","path":0,"sigma":{}}}"#,
+                                if i % 20 == 8 { "4.5" } else { "3" }
+                            ),
+                            9 => format!(
+                                r#"{{"cmd":"eco_resize","design":"dut","gate":"{eco_gate}","strength":{}}}"#,
+                                if (c + i) % 2 == 0 { 8 } else { 4 }
+                            ),
+                            _ => r#"{"cmd":"worst_paths","design":"dut","k":1}"#.to_string(),
+                        };
+                        let t = Instant::now();
+                        match client.request_ok(&line) {
+                            Ok(_) => lats.push(t.elapsed().as_secs_f64() * 1e6),
+                            Err(_) => errs += 1,
+                        }
                     }
-                }
-                (lats, errs)
-            }));
-        }
-        for w in workers {
-            let (lats, errs) = w.join().expect("client thread");
-            latencies.extend(lats);
-            errors += errs;
-        }
-    });
-    let elapsed = t0.elapsed();
-    handle.shutdown();
+                    (lats, errs)
+                }));
+            }
+            for w in workers {
+                let (lats, errs) = w.join().expect("client thread");
+                latencies.extend(lats);
+                errors += errs;
+            }
+        });
+        (latencies, t0.elapsed(), errors)
+    };
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    LoadResult {
-        threads,
-        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
-        max_us: latencies.last().copied().unwrap_or(0.0),
-        requests: latencies.len(),
-        errors,
+    // Warm up (stage cache, allocator, socket pools): a fresh server's
+    // first requests are systematically slow.
+    round(requests_per_client / 4);
+    let result = round(requests_per_client);
+    handle.shutdown();
+    result
+}
+
+/// Measures every sweep point `passes` times, interleaved (1, 4, 8, 1, 4,
+/// 8, …) so slow drift in shared-host throughput hits all thread counts
+/// alike, and keeps each point's median-throughput pass.
+fn run_sweep(
+    coeff_path: &std::path::Path,
+    iscas: &str,
+    requests_per_client: usize,
+    passes: usize,
+) -> Vec<LoadResult> {
+    let mut per_point: Vec<Vec<(Vec<f64>, Duration, usize)>> =
+        WORKER_SWEEP.iter().map(|_| Vec::new()).collect();
+    for pass in 0..passes {
+        for (i, &threads) in WORKER_SWEEP.iter().enumerate() {
+            println!(
+                "  pass {}: {iscas} at {threads} worker thread(s)...",
+                pass + 1
+            );
+            per_point[i].push(run_point(threads, coeff_path, iscas, requests_per_client));
+            // Let the OS reclaim the port between runs.
+            std::thread::sleep(Duration::from_millis(50));
+        }
     }
+
+    WORKER_SWEEP
+        .iter()
+        .zip(per_point)
+        .map(|(&threads, mut rounds)| {
+            rounds.sort_by(|a, b| {
+                let qa = a.0.len() as f64 / a.1.as_secs_f64();
+                let qb = b.0.len() as f64 / b.1.as_secs_f64();
+                qa.partial_cmp(&qb).expect("finite qps")
+            });
+            let (mut latencies, elapsed, errors) = rounds.swap_remove(rounds.len() / 2);
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            LoadResult {
+                threads,
+                qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+                p50_us: percentile(&latencies, 0.50),
+                p99_us: percentile(&latencies, 0.99),
+                max_us: latencies.last().copied().unwrap_or(0.0),
+                requests: latencies.len(),
+                errors,
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -128,35 +185,55 @@ fn main() {
     let coeff = std::env::temp_dir().join("nsigma-server-load-coeff.txt");
     let _ = std::fs::remove_file(&coeff);
 
-    let mut results = Vec::new();
-    for threads in WORKER_SWEEP {
-        println!("running load at {threads} worker thread(s)...");
-        let r = run_load(threads, &coeff);
-        println!(
-            "  {} req in total: {:.0} qps, p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs, {} errors",
-            r.requests, r.qps, r.p50_us, r.p99_us, r.max_us, r.errors
-        );
-        results.push(r);
-        // Let the OS reclaim the port between runs.
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    let sweep = |iscas: &str, requests: usize| -> Vec<LoadResult> {
+        println!("running {iscas} load...");
+        let results = run_sweep(&coeff, iscas, requests, 5);
+        for r in &results {
+            println!(
+                "  {} threads, {} req: {:.0} qps, p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs, {} errors",
+                r.threads, r.requests, r.qps, r.p50_us, r.p99_us, r.max_us, r.errors
+            );
+        }
+        results
+    };
+    let results = sweep("c432", REQUESTS_PER_CLIENT);
+    // A second sweep at c6288 scale (~3.2k gates, 7× c432): the multiplier
+    // stresses the ranking DP and the stage cache far harder per request.
+    let results_c6288 = sweep("c6288", REQUESTS_PER_CLIENT / 3);
     let _ = std::fs::remove_file(&coeff);
+
+    let render = |json: &mut String, key: &str, results: &[LoadResult]| {
+        let _ = writeln!(json, "  \"{key}\": [");
+        for (i, r) in results.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"threads\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}, \"requests\": {}, \"errors\": {}}}",
+                r.threads, r.qps, r.p50_us, r.p99_us, r.max_us, r.requests, r.errors
+            );
+            json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]");
+    };
 
     let mut json = String::from("{\n  \"bench\": \"server_load\",\n");
     let _ = writeln!(
         json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    let _ = writeln!(
+        json,
         "  \"workload\": {{\"clients\": {CLIENTS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"mix\": \"80% worst_paths / 10% quantile / 10% eco_resize\", \"design\": \"c432\"}},"
     );
-    json.push_str("  \"sweep\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"threads\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}, \"requests\": {}, \"errors\": {}}}",
-            r.threads, r.qps, r.p50_us, r.p99_us, r.max_us, r.requests, r.errors
-        );
-        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let _ = writeln!(
+        json,
+        "  \"workload_c6288\": {{\"clients\": {CLIENTS}, \"requests_per_client\": {}, \"mix\": \"80% worst_paths / 10% quantile / 10% eco_resize\", \"design\": \"c6288\"}},",
+        REQUESTS_PER_CLIENT / 3
+    );
+    render(&mut json, "sweep", &results);
+    json.push_str(",\n");
+    render(&mut json, "sweep_c6288", &results_c6288);
+    json.push_str("\n}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!("wrote BENCH_server.json");
 }

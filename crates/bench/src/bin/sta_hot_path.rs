@@ -1,0 +1,177 @@
+//! Hot-path benchmark of whole-design analysis: the legacy string-keyed
+//! `NsigmaTimer::analyze_design` against the compiled timing graph
+//! (`CompiledDesign::analyze_design_with` + reused scratch), single
+//! threaded per design, then a thread sweep of concurrent compiled
+//! queries to show the sharded stage cache scaling with cores.
+//!
+//! Emits `BENCH_sta.json`. Run with:
+//! `cargo run --release -p nsigma-bench --bin sta_hot_path`
+
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{CompiledDesign, MergeRule, QueryScratch};
+use nsigma_mc::design::Design;
+use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_process::Technology;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DESIGNS: [Iscas85; 3] = [Iscas85::C432, Iscas85::C1908, Iscas85::C6288];
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const PARASITIC_SEED: u64 = 7;
+
+struct DesignResult {
+    name: &'static str,
+    gates: usize,
+    legacy_us: f64,
+    compiled_us: f64,
+    speedup: f64,
+}
+
+struct ScaleResult {
+    threads: usize,
+    qps: f64,
+}
+
+/// Median of `reps` timed batches of `iters` calls, in µs per call.
+fn time_per_call(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn bench_design(timer: &NsigmaTimer, bench: Iscas85, lib: &CellLibrary) -> DesignResult {
+    let tech = Technology::synthetic_28nm();
+    let netlist = map_to_cells(&bench.generate(), lib).expect("mapping");
+    let design = Design::with_generated_parasitics(tech, lib.clone(), netlist, PARASITIC_SEED);
+    let gates = design.netlist.num_gates();
+    let compiled = CompiledDesign::compile(timer, design.clone());
+
+    // Warm the stage cache so both paths measure steady-state serving (the
+    // same shards back both, so neither side gets a cold-cache handicap).
+    let reference = timer.analyze_design(&design);
+    let mut scratch = QueryScratch::new();
+    let check = compiled.analyze_design_with(timer, MergeRule::Pessimistic, &mut scratch);
+    assert_eq!(
+        reference.as_array().map(f64::to_bits),
+        check.as_array().map(f64::to_bits),
+        "compiled analysis must stay bit-identical to the legacy path"
+    );
+
+    let iters = (20_000 / gates).max(4);
+    let legacy_us = time_per_call(7, iters, || {
+        std::hint::black_box(timer.analyze_design(&design));
+    });
+    let compiled_us = time_per_call(7, iters, || {
+        std::hint::black_box(compiled.analyze_design_with(
+            timer,
+            MergeRule::Pessimistic,
+            &mut scratch,
+        ));
+    });
+
+    DesignResult {
+        name: bench.name(),
+        gates,
+        legacy_us,
+        compiled_us,
+        speedup: legacy_us / compiled_us,
+    }
+}
+
+/// Concurrent compiled `analyze_design` throughput at `threads` workers,
+/// each with its own scratch, all hammering one timer's shared cache.
+fn bench_scaling(timer: &NsigmaTimer, compiled: &CompiledDesign, threads: usize) -> ScaleResult {
+    const ITERS_PER_THREAD: usize = 400;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = QueryScratch::new();
+                for _ in 0..ITERS_PER_THREAD {
+                    std::hint::black_box(compiled.analyze_design_with(
+                        timer,
+                        MergeRule::Pessimistic,
+                        &mut scratch,
+                    ));
+                }
+            });
+        }
+    });
+    ScaleResult {
+        threads,
+        qps: (threads * ITERS_PER_THREAD) as f64 / t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let mut cfg = TimerConfig::standard(21);
+    cfg.char_samples = 500;
+    cfg.wire.nets = 1;
+    cfg.wire.samples = 300;
+    println!("characterizing the standard library...");
+    let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer build");
+
+    let mut results = Vec::new();
+    for bench in DESIGNS {
+        let r = bench_design(&timer, bench, &lib);
+        println!(
+            "{:>6} ({:>4} gates): legacy {:8.1} µs, compiled {:7.1} µs — {:.2}x",
+            r.name, r.gates, r.legacy_us, r.compiled_us, r.speedup
+        );
+        results.push(r);
+    }
+
+    // Thread scaling on the largest design.
+    let netlist = map_to_cells(&Iscas85::C6288.generate(), &lib).expect("mapping");
+    let design =
+        Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, PARASITIC_SEED);
+    let compiled = CompiledDesign::compile(&timer, design);
+    let mut scaling = Vec::new();
+    for threads in THREAD_SWEEP {
+        let r = bench_scaling(&timer, &compiled, threads);
+        println!(
+            "{} thread(s): {:.0} analyze_design/s on c6288",
+            threads, r.qps
+        );
+        scaling.push(r);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sta_hot_path\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    json.push_str("  \"single_thread\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"design\": \"{}\", \"gates\": {}, \"legacy_us\": {:.2}, \"compiled_us\": {:.2}, \"speedup\": {:.2}}}",
+            r.name, r.gates, r.legacy_us, r.compiled_us, r.speedup
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"thread_scaling_c6288\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"analyses_per_sec\": {:.1}}}",
+            r.threads, r.qps
+        );
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sta.json", &json).expect("write BENCH_sta.json");
+    println!("wrote BENCH_sta.json");
+}

@@ -5,9 +5,9 @@ use crate::args::{Args, ArgsError};
 use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
 use nsigma_cells::liberty::{write_liberty, LibertyCell};
 use nsigma_cells::CellLibrary;
-use nsigma_core::report::{report_path, report_worst_paths};
+use nsigma_core::report::{report_path, report_worst_paths_compiled};
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
-use nsigma_core::{read_coefficients, write_coefficients};
+use nsigma_core::{read_coefficients, write_coefficients, CompiledDesign};
 use nsigma_interconnect::spef;
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
@@ -129,18 +129,30 @@ pub fn run_analyze(args: &Args) -> Result<String, FlowError> {
     };
     let k = args.get_usize("paths", 1)?;
 
+    // Compile once; every query below (critical path, k-worst ranking,
+    // SDF export) runs off the interned graph.
+    let compiled = CompiledDesign::compile(&timer, design);
+    let design = compiled.design();
+
     let mut out = String::new();
     if k <= 1 {
         let path =
-            find_critical_path(&design).ok_or_else(|| err("design has no combinational path"))?;
-        let timing = timer.analyze_path(&design, &path);
-        out.push_str(&report_path(&design, &path, &timing, clock));
+            find_critical_path(design).ok_or_else(|| err("design has no combinational path"))?;
+        let timing = compiled.analyze_path(&timer, &path);
+        out.push_str(&report_path(design, &path, &timing, clock));
     } else {
-        out.push_str(&report_worst_paths(&timer, &design, k, clock));
+        let mut scratch = nsigma_netlist::PathScratch::new();
+        out.push_str(&report_worst_paths_compiled(
+            &timer,
+            &compiled,
+            k,
+            clock,
+            &mut scratch,
+        ));
     }
 
     if let Some(sdf_path) = args.get("sdf") {
-        std::fs::write(sdf_path, nsigma_core::sdf::write_sdf(&timer, &design))?;
+        std::fs::write(sdf_path, nsigma_core::sdf::write_sdf(&timer, design))?;
         out.push_str(&format!("\nwrote SDF to {sdf_path}\n"));
     }
     Ok(out)

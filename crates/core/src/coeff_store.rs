@@ -448,6 +448,47 @@ mod tests {
     }
 
     #[test]
+    fn save_is_byte_stable_across_reload_cycles() {
+        // Cell names and measured wire coefficients live in HashMaps;
+        // the writer sorts both so the file bytes never depend on hash
+        // iteration order. Writing the same timer twice, and writing a
+        // timer reloaded from its own file, must produce identical bytes
+        // — that is what makes the coefficients file diffable and lets
+        // CI cache on its hash.
+        let (tech, timer) = tiny_timer();
+        let first = write_coefficients(&timer);
+        assert_eq!(first, write_coefficients(&timer));
+
+        let mut text = first;
+        for cycle in 0..3 {
+            let reloaded = read_coefficients(&tech, &text).unwrap();
+            let again = write_coefficients(&reloaded);
+            assert_eq!(text, again, "bytes drifted on reload cycle {cycle}");
+            text = again;
+        }
+    }
+
+    #[test]
+    fn saved_cells_appear_in_sorted_order() {
+        let (_, timer) = tiny_timer();
+        let text = write_coefficients(&timer);
+        let cells: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("CELL "))
+            .collect();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(cells, sorted, "CELL records must be name-sorted");
+        let wires: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("WIRE-CELL "))
+            .collect();
+        let mut wsorted = wires.clone();
+        wsorted.sort_unstable();
+        assert_eq!(wires, wsorted, "WIRE-CELL records must be name-sorted");
+    }
+
+    #[test]
     fn rejects_missing_header() {
         let tech = Technology::synthetic_28nm();
         assert_eq!(

@@ -8,6 +8,7 @@
 //! drivers of its fanin nets (their loads changed), and everything
 //! downstream of a net whose arrival actually moved.
 
+use crate::compiled::CompiledDesign;
 use crate::sta::NsigmaTimer;
 use crate::stat_max::MergeRule;
 use nsigma_mc::design::Design;
@@ -24,39 +25,51 @@ const EPS: f64 = 1e-18;
 /// sizing loop (`IncrementalTimer::new(&timer, ...)`), or hand in an
 /// `Arc<NsigmaTimer>` so a long-lived owner (the query daemon) can keep
 /// many incremental views over one shared timer without a lifetime tie.
+///
+/// The design is held in compiled form ([`CompiledDesign`]): per-gate
+/// interned cell ids, CSR connectivity, and precomputed per-net wire data.
+/// Each resize recompiles only the affected slices, then walks the topo
+/// order by index (no `order.clone()`) with persistent seed/dirty flag
+/// vectors instead of a fresh hash set per edit.
 pub struct IncrementalTimer<B: Borrow<NsigmaTimer>> {
     timer: B,
-    design: Design,
+    compiled: CompiledDesign,
     rule: MergeRule,
-    order: Vec<GateId>,
     arrival: Vec<QuantileSet>,
     slew: Vec<f64>,
+    /// Persistent per-gate seed flags for [`IncrementalTimer::recompute`];
+    /// always all-false between calls.
+    seed_gate: Vec<bool>,
+    /// Persistent per-net dirty flags; always all-false between calls.
+    dirty_net: Vec<bool>,
     /// Gates recomputed by the last [`IncrementalTimer::resize_gate`].
     last_recompute: usize,
 }
 
 impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
-    /// Builds the incremental view and runs the initial full analysis.
+    /// Builds the incremental view (compiling the design) and runs the
+    /// initial full analysis.
     ///
     /// # Panics
     ///
     /// Panics if the design has no gates.
     pub fn new(timer: B, design: Design, rule: MergeRule) -> Self {
         assert!(design.netlist.num_gates() > 0, "design has no gates");
-        let order = nsigma_netlist::topo::topo_order(&design.netlist);
         let nets = design.netlist.num_nets();
+        let gates = design.netlist.num_gates();
         let input_slew = timer.borrow().input_slew();
+        let compiled = CompiledDesign::compile(timer.borrow(), design);
         let mut this = Self {
             timer,
-            design,
+            compiled,
             rule,
-            order,
             arrival: vec![QuantileSet::default(); nets],
             slew: vec![input_slew; nets],
+            seed_gate: vec![false; gates],
+            dirty_net: vec![false; nets],
             last_recompute: 0,
         };
-        let all: Vec<GateId> = this.order.clone();
-        this.recompute(&all, &mut std::collections::HashSet::new());
+        this.recompute(true);
         this
     }
 
@@ -67,7 +80,12 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
 
     /// The analyzed design (read-only).
     pub fn design(&self) -> &Design {
-        &self.design
+        self.compiled.design()
+    }
+
+    /// The compiled timing graph the analysis runs over.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.compiled
     }
 
     /// Arrival quantiles at a net.
@@ -77,9 +95,10 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
 
     /// Worst primary-output arrival under the merge rule.
     pub fn worst_output(&self) -> QuantileSet {
+        let design = self.compiled.design();
         let mut worst: Option<QuantileSet> = None;
-        for &o in self.design.netlist.outputs() {
-            if matches!(self.design.netlist.net(o).driver, NetDriver::Gate(_)) {
+        for &o in design.netlist.outputs() {
+            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
                 let a = self.arrival[o.index()];
                 worst = Some(match worst {
                     Some(w) => self.rule.merge(&w, &a),
@@ -105,49 +124,52 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
     /// Panics if the library lacks the requested strength, or if the timer
     /// has no calibration for it.
     pub fn resize_gate(&mut self, gate: GateId, strength: u32) -> QuantileSet {
+        let design = self.compiled.design();
         let kind = {
-            let g = self.design.netlist.gate(gate);
-            self.design.lib.cell(g.cell).kind()
+            let g = design.netlist.gate(gate);
+            design.lib.cell(g.cell).kind()
         };
-        let cell = self
-            .design
+        let cell = design
             .lib
             .find_kind(kind, strength)
             .unwrap_or_else(|| panic!("library has no {}x{strength}", kind.prefix()));
-        self.design.replace_gate_cell(gate, cell);
+        self.compiled
+            .resize_gate_cell(self.timer.borrow(), gate, cell);
 
         // Seeds: the resized gate plus the drivers of its fanin nets (their
         // output load changed through the new pin capacitance).
-        let mut seeds = vec![gate];
-        let fanins: Vec<NetId> = self.design.netlist.gate(gate).inputs.clone();
-        for net in fanins {
-            if let NetDriver::Gate(driver) = self.design.netlist.net(net).driver {
-                seeds.push(driver);
+        self.seed_gate[gate.index()] = true;
+        let design = self.compiled.design();
+        for &net in self.compiled.csr().fanins(gate.index()) {
+            if let NetDriver::Gate(driver) =
+                design.netlist.net(NetId::from_index(net as usize)).driver
+            {
+                self.seed_gate[driver.index()] = true;
             }
         }
-        let mut seed_set: std::collections::HashSet<GateId> = seeds.into_iter().collect();
-        let order = self.order.clone();
-        self.recompute(&order, &mut seed_set);
+        self.recompute(false);
         self.worst_output()
     }
 
-    /// Walks `candidates` in topological order, recomputing any gate that is
-    /// a seed or whose fanin nets are dirty; marks outputs dirty when their
-    /// timing moves. Counts the recomputed gates.
-    fn recompute(
-        &mut self,
-        candidates: &[GateId],
-        seeds: &mut std::collections::HashSet<GateId>,
-    ) -> usize {
-        let full = seeds.is_empty(); // initial build recomputes everything
-        let mut dirty_nets: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    /// Walks the topo order, recomputing any gate that is a seed or whose
+    /// fanin nets are dirty; marks outputs dirty when their timing moves.
+    /// The seed/dirty flags are persistent vectors cleared on exit, so a
+    /// resize allocates nothing. Counts the recomputed gates.
+    fn recompute(&mut self, full: bool) -> usize {
         let mut count = 0;
-
-        for &g in candidates {
-            let gate_inputs: Vec<NetId> = self.design.netlist.gate(g).inputs.clone();
+        // Index-based walk: `self.compiled` stays borrowed immutably inside
+        // the loop, so no clone of the order is needed.
+        for idx in 0..self.compiled.order().len() {
+            let g = self.compiled.order()[idx];
+            let gi = g.index();
             let needs = full
-                || seeds.contains(&g)
-                || gate_inputs.iter().any(|i| dirty_nets.contains(&i.index()));
+                || self.seed_gate[gi]
+                || self
+                    .compiled
+                    .csr()
+                    .fanins(gi)
+                    .iter()
+                    .any(|&i| self.dirty_net[i as usize]);
             if !needs {
                 continue;
             }
@@ -160,29 +182,31 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
                 || (new_slew - self.slew[net.index()]).abs() > EPS;
             self.arrival[net.index()] = new_arrival;
             self.slew[net.index()] = new_slew;
-            if changed || full || seeds.contains(&g) {
-                dirty_nets.insert(net.index());
+            if changed || full || self.seed_gate[gi] {
+                self.dirty_net[net.index()] = true;
             }
         }
+        // Restore the all-false invariant for the next edit.
+        self.seed_gate.iter_mut().for_each(|f| *f = false);
+        self.dirty_net.iter_mut().for_each(|f| *f = false);
         self.last_recompute = count;
         count
     }
 
-    /// One gate's block-based update (same math as `analyze_design_with`).
+    /// One gate's block-based update (same math as `analyze_design_with`),
+    /// read entirely from the compiled arrays.
     fn evaluate_gate(&self, g: GateId) -> (NetId, QuantileSet, f64) {
         let timer = self.timer.borrow();
-        let design = &self.design;
-        let gate = design.netlist.gate(g);
-        let cell = design.lib.cell(gate.cell);
-        let net = gate.output;
-        let load = design.stage_effective_load(net);
+        let gi = g.index();
+        let net = NetId::from_index(self.compiled.csr().gate_output[gi] as usize);
+        let load = self.compiled.net_load(net);
 
         let mut in_arrival = QuantileSet::default();
         let mut in_slew = timer.input_slew();
         let mut worst = f64::NEG_INFINITY;
         let mut first = true;
-        for &i in &gate.inputs {
-            let a = &self.arrival[i.index()];
+        for &i in self.compiled.csr().fanins(gi) {
+            let a = &self.arrival[i as usize];
             in_arrival = if first {
                 first = false;
                 *a
@@ -192,34 +216,17 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
             let key = a[SigmaLevel::PlusThree];
             if key > worst {
                 worst = key;
-                in_slew = self.slew[i.index()];
+                in_slew = self.slew[i as usize];
             }
         }
 
-        let (cell_q, out_slew) = timer.stage_cell_quantiles(cell.name(), in_slew, load);
+        let (cell_q, out_slew) =
+            timer.stage_cell_quantiles_id(self.compiled.gate_cal(g), in_slew, load);
 
         // Wire quantiles toward the worst sink (consistent with the
-        // block-based convention of `analyze_design_with`).
-        let (wire_q, wire_mean) = match design.parasitic(net) {
-            Some(tree) if !tree.sinks().is_empty() => {
-                let loads = design.load_cells(net);
-                let bases = crate::wire_model::nominal_wire_means(&design.tech, tree, &loads, cell);
-                let pos = bases
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                let q = timer
-                    .wire_model()
-                    .wire_quantiles(bases[pos], cell, loads[pos]);
-                let mean = timer
-                    .wire_model()
-                    .predict_mean(bases[pos], cell, loads[pos]);
-                (q, mean)
-            }
-            _ => (QuantileSet::default(), 0.0),
-        };
+        // block-based convention of `analyze_design_with`), precomputed at
+        // compile/resize time.
+        let (wire_q, wire_mean) = self.compiled.worst_sink_wire(net);
 
         let arrival = in_arrival.add(&cell_q).add(&wire_q);
         let slew = (out_slew + 2.0 * wire_mean).max(0.0);
@@ -230,7 +237,7 @@ impl<B: Borrow<NsigmaTimer>> IncrementalTimer<B> {
 impl<B: Borrow<NsigmaTimer>> std::fmt::Debug for IncrementalTimer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IncrementalTimer")
-            .field("gates", &self.order.len())
+            .field("gates", &self.compiled.order().len())
             .field("last_recompute", &self.last_recompute)
             .finish()
     }

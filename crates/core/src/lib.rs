@@ -21,7 +21,11 @@
 //! * [`sdf`] — SDF export with the sigma levels as (min:typ:max) triplets;
 //! * [`stat_max`] — pessimistic and Clark statistical MAX merges for
 //!   block-based analysis;
-//! * [`incremental`] — cone-limited re-analysis after ECO gate resizes;
+//! * [`compiled`] — the compiled timing graph: designs lowered once into
+//!   interned-id/CSR arrays with precomputed wire data, so queries run
+//!   allocation-free (see DESIGN.md, "Performance architecture");
+//! * [`incremental`] — cone-limited re-analysis after ECO gate resizes,
+//!   running over the compiled graph;
 //! * [`report`] — sign-off-style text timing reports (k-worst paths);
 //! * [`liberty_bridge`] — build calibrations from parsed Liberty LVF tables;
 //! * [`coeff_store`] — the Fig. 5 coefficients file (text LUT), so analysis
@@ -60,6 +64,7 @@
 pub mod calibration;
 pub mod cell_model;
 pub mod coeff_store;
+pub mod compiled;
 pub mod extended;
 pub mod incremental;
 pub mod liberty_bridge;
@@ -72,6 +77,7 @@ pub mod wire_model;
 pub use calibration::{MomentCalibration, C_REF, S_REF};
 pub use cell_model::CellQuantileModel;
 pub use coeff_store::{read_coefficients, write_coefficients};
+pub use compiled::{CompiledDesign, QueryScratch};
 pub use extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
 pub use incremental::IncrementalTimer;
 pub use sta::{NsigmaTimer, PathTiming, StageTiming, TimerConfig};

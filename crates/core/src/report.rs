@@ -6,9 +6,10 @@
 //! a clock period is given) the +3σ slack — the artifact a designer
 //! actually reads.
 
+use crate::compiled::CompiledDesign;
 use crate::sta::{NsigmaTimer, PathTiming};
 use nsigma_mc::design::Design;
-use nsigma_netlist::topo::{k_longest_paths_by, Path};
+use nsigma_netlist::topo::{Path, PathScratch};
 use nsigma_stats::quantile::SigmaLevel;
 use std::fmt::Write as _;
 
@@ -122,26 +123,27 @@ pub fn report_worst_paths(
     k: usize,
     clock_period: Option<f64>,
 ) -> String {
-    let weights: Vec<f64> = design
-        .netlist
-        .gate_ids()
-        .map(|g| {
-            let gate = design.netlist.gate(g);
-            let cell = design.lib.cell(gate.cell);
-            nsigma_cells::timing::nominal_arc(
-                &design.tech,
-                cell,
-                20e-12,
-                design.stage_effective_load(gate.output),
-            )
-            .delay
-        })
-        .collect();
-    let paths = k_longest_paths_by(&design.netlist, |g| weights[g.index()], k);
+    let compiled = CompiledDesign::compile(timer, design.clone());
+    report_worst_paths_compiled(timer, &compiled, k, clock_period, &mut PathScratch::new())
+}
+
+/// [`report_worst_paths`] over an already-compiled design: the path
+/// ranking reuses the compiled nominal stage weights and `scratch`, so a
+/// caller that keeps the [`CompiledDesign`] around (the server, the CLI
+/// analyze flow) pays no per-report recompilation.
+pub fn report_worst_paths_compiled(
+    timer: &NsigmaTimer,
+    compiled: &CompiledDesign,
+    k: usize,
+    clock_period: Option<f64>,
+    scratch: &mut PathScratch,
+) -> String {
+    let design = compiled.design();
+    let paths = compiled.ranked_paths(k, scratch);
 
     let mut out = String::new();
     for (i, path) in paths.iter().enumerate() {
-        let timing = timer.analyze_path(design, path);
+        let timing = compiled.analyze_path(timer, path);
         writeln!(
             out,
             "==== path {} of {} ({} stages) ====",

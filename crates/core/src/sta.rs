@@ -125,23 +125,61 @@ impl CacheStats {
     }
 }
 
-/// Cache key: cell name plus the exact bit patterns of the operating point,
-/// so a hit returns the identical `f64`s a fresh evaluation would.
-type StageKey = (String, u64, u64);
+/// Cache key: interned cell id plus the exact bit patterns of the operating
+/// point, so a hit returns the identical `f64`s a fresh evaluation would.
+type StageKey = (u32, u64, u64);
+
+/// Number of stage-cache shards. A power of two so shard selection is a
+/// mask; 64 shards keep eight concurrent workers from colliding on one
+/// lock while staying small enough that `cache_stats` stays cheap.
+const CACHE_SHARDS: usize = 64;
+
+/// One shard of the stage-quantile cache. Hit/miss counters live per
+/// shard so lookups never contend on a global atomic pair.
+struct CacheShard {
+    map: RwLock<HashMap<StageKey, (QuantileSet, f64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheShard {
+    fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// FNV-1a over the key's raw words, folded so the power-of-two mask sees
+/// avalanche bits rather than the low bits of a float payload.
+fn shard_index(key: &StageKey) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [u64::from(key.0), key.1, key.2] {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ((h ^ (h >> 32)) as usize) & (CACHE_SHARDS - 1)
+}
 
 /// The N-sigma statistical timer.
 pub struct NsigmaTimer {
     tech: Technology,
     quantile_model: CellQuantileModel,
     calibrations: HashMap<String, MomentCalibration>,
+    /// Cell name → dense id (sorted-name order, stable across runs).
+    cell_ids: HashMap<String, u32>,
+    /// Calibrations indexed by interned id; the hot path reads this `Vec`
+    /// instead of hashing a `String` key.
+    cal_table: Vec<MomentCalibration>,
     wire_model: WireVariabilityModel,
     input_slew: f64,
     /// Memoized per-stage `(cell quantiles, raw output slew)` keyed on the
     /// exact operating point. The model is a pure function of the key, so
-    /// cached answers are bit-identical to recomputed ones.
-    stage_cache: RwLock<HashMap<StageKey, (QuantileSet, f64)>>,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    /// cached answers are bit-identical to recomputed ones. Sharded so
+    /// concurrent queries don't serialize on one lock.
+    stage_cache: Box<[CacheShard]>,
 }
 
 impl NsigmaTimer {
@@ -241,16 +279,43 @@ impl NsigmaTimer {
         wire_model: WireVariabilityModel,
         input_slew: f64,
     ) -> Self {
+        // Intern cell names in sorted order: ids are then a function of
+        // the calibration *set*, not of hash-map iteration order.
+        let mut names: Vec<&String> = calibrations.keys().collect();
+        names.sort();
+        let cell_ids: HashMap<String, u32> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ((*n).clone(), i as u32))
+            .collect();
+        let cal_table: Vec<MomentCalibration> =
+            names.iter().map(|n| calibrations[*n].clone()).collect();
         Self {
             tech,
             quantile_model,
             calibrations,
+            cell_ids,
+            cal_table,
             wire_model,
             input_slew,
-            stage_cache: RwLock::new(HashMap::new()),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            stage_cache: (0..CACHE_SHARDS).map(|_| CacheShard::new()).collect(),
         }
+    }
+
+    /// The interned id of a calibrated cell, or `None` if the timer has no
+    /// calibration for it. Ids are dense (`0..num_calibrations`) and
+    /// assigned in sorted-name order, so they are stable across runs.
+    pub fn cell_id(&self, cell_name: &str) -> Option<u32> {
+        self.cell_ids.get(cell_name).copied()
+    }
+
+    /// The calibration behind an interned id (see [`NsigmaTimer::cell_id`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this timer's `cell_id`.
+    pub fn calibration_by_id(&self, id: u32) -> &MomentCalibration {
+        &self.cal_table[id as usize]
     }
 
     /// The stage-quantile cell evaluation, memoized on the exact operating
@@ -266,27 +331,34 @@ impl NsigmaTimer {
         slew: f64,
         load: f64,
     ) -> (QuantileSet, f64) {
-        let key: StageKey = (cell_name.to_string(), slew.to_bits(), load.to_bits());
-        if let Some(&cached) = self
-            .stage_cache
-            .read()
-            .expect("stage cache poisoned")
-            .get(&key)
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let id = self
+            .cell_id(cell_name)
+            .unwrap_or_else(|| panic!("timer has no calibration for {cell_name}"));
+        self.stage_cell_quantiles_id(id, slew, load)
+    }
+
+    /// Hot-path variant of [`NsigmaTimer::stage_cell_quantiles`] keyed on an
+    /// interned cell id — no string allocation or hashing per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this timer's `cell_id`.
+    pub fn stage_cell_quantiles_id(&self, id: u32, slew: f64, load: f64) -> (QuantileSet, f64) {
+        let key: StageKey = (id, slew.to_bits(), load.to_bits());
+        let shard = &self.stage_cache[shard_index(&key)];
+        if let Some(&cached) = shard.map.read().expect("stage cache poisoned").get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let cal = self
-            .calibrations
-            .get(cell_name)
-            .unwrap_or_else(|| panic!("timer has no calibration for {cell_name}"));
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let cal = &self.cal_table[id as usize];
         let moments = cal.moments_at(slew, load);
         let value = (
             self.quantile_model.predict(&moments),
             cal.output_slew_at(slew, load),
         );
-        self.stage_cache
+        shard
+            .map
             .write()
             .expect("stage cache poisoned")
             .insert(key, value);
@@ -294,13 +366,16 @@ impl NsigmaTimer {
     }
 
     /// Cache counters since construction (the cache survives for the
-    /// timer's lifetime; long-lived daemons report these via `stats`).
+    /// timer's lifetime; long-lived daemons report these via `stats`),
+    /// summed over all shards.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.cache_hits.load(Ordering::Relaxed),
-            misses: self.cache_misses.load(Ordering::Relaxed),
-            entries: self.stage_cache.read().expect("stage cache poisoned").len() as u64,
+        let mut stats = CacheStats::default();
+        for shard in self.stage_cache.iter() {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.entries += shard.map.read().expect("stage cache poisoned").len() as u64;
         }
+        stats
     }
 
     /// The fitted Table I model.

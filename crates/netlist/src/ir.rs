@@ -17,6 +17,12 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from a raw index (inverse of [`NetId::index`]); only
+    /// meaningful for indices that came from the same netlist.
+    pub fn from_index(i: usize) -> Self {
+        NetId(i)
+    }
 }
 
 /// Identifier of a gate within one [`Netlist`].
@@ -27,6 +33,12 @@ impl GateId {
     /// Raw index.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds an id from a raw index (inverse of [`GateId::index`]); only
+    /// meaningful for indices that came from the same netlist.
+    pub fn from_index(i: usize) -> Self {
+        GateId(i)
     }
 }
 

@@ -199,13 +199,53 @@ pub fn k_longest_paths_by(
         return Vec::new();
     }
     let order = topo_order(netlist);
+    k_longest_paths_by_with_order(netlist, &order, gate_weight, k, &mut PathScratch::new())
+}
+
+/// Reusable buffers for [`k_longest_paths_by_with_order`]: the per-gate
+/// top-`k` tables and endpoint lists survive across calls, so a server
+/// answering `worst_paths` queries in a loop stops reallocating them.
+#[derive(Debug, Default)]
+pub struct PathScratch {
+    tops: Vec<Vec<TopCandidate>>,
+    cands: Vec<TopCandidate>,
+    endpoints: Vec<(f64, GateId, usize)>,
+    po_drivers: Vec<GateId>,
+}
+
+impl PathScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`k_longest_paths_by`] over a caller-supplied topo `order`, reusing
+/// `scratch` buffers across calls. Produces bit-identical paths to the
+/// plain entry point; callers that precompute the order (compiled timing
+/// graphs) skip the per-query Kahn pass and the DP-table allocations.
+pub fn k_longest_paths_by_with_order(
+    netlist: &Netlist,
+    order: &[GateId],
+    gate_weight: impl Fn(GateId) -> f64,
+    k: usize,
+    scratch: &mut PathScratch,
+) -> Vec<Path> {
+    if k == 0 || netlist.num_gates() == 0 {
+        return Vec::new();
+    }
     let n = netlist.num_gates();
     // Per gate: up to k candidates, sorted descending by arrival.
-    let mut tops: Vec<Vec<TopCandidate>> = vec![Vec::new(); n];
+    scratch.tops.resize_with(n, Vec::new);
+    for t in &mut scratch.tops {
+        t.clear();
+    }
+    let tops = &mut scratch.tops;
 
-    for &g in &order {
+    for &g in order {
         let w = gate_weight(g);
-        let mut cands: Vec<TopCandidate> = Vec::new();
+        let cands = &mut scratch.cands;
+        cands.clear();
         let mut from_pi = false;
         for &i in &netlist.gate(g).inputs {
             match netlist.net(i).driver {
@@ -222,25 +262,29 @@ pub fn k_longest_paths_by(
         }
         cands.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
         cands.truncate(k);
-        tops[g.index()] = cands;
+        tops[g.index()].extend_from_slice(cands);
     }
 
     // Collect endpoint candidates over PO drivers (fallback: all gates).
-    let mut endpoints: Vec<(f64, GateId, usize)> = Vec::new();
-    let mut po_drivers: Vec<GateId> = netlist
-        .outputs()
-        .iter()
-        .filter_map(|&o| match netlist.net(o).driver {
-            NetDriver::Gate(g) => Some(g),
-            NetDriver::PrimaryInput => None,
-        })
-        .collect();
+    let endpoints = &mut scratch.endpoints;
+    endpoints.clear();
+    let po_drivers = &mut scratch.po_drivers;
+    po_drivers.clear();
+    po_drivers.extend(
+        netlist
+            .outputs()
+            .iter()
+            .filter_map(|&o| match netlist.net(o).driver {
+                NetDriver::Gate(g) => Some(g),
+                NetDriver::PrimaryInput => None,
+            }),
+    );
     po_drivers.sort_unstable();
     po_drivers.dedup();
     if po_drivers.is_empty() {
-        po_drivers = order.clone();
+        po_drivers.extend_from_slice(order);
     }
-    for g in po_drivers {
+    for &g in po_drivers.iter() {
         for (rank, &(a, _)) in tops[g.index()].iter().enumerate() {
             endpoints.push((a, g, rank));
         }
@@ -249,9 +293,100 @@ pub fn k_longest_paths_by(
     endpoints.truncate(k);
 
     endpoints
-        .into_iter()
-        .map(|(_, end, rank)| reconstruct(netlist, &tops, end, rank))
+        .iter()
+        .map(|&(_, end, rank)| reconstruct(netlist, tops, end, rank))
         .collect()
+}
+
+/// Flat CSR view of a netlist's connectivity, precomputed once so query
+/// loops walk dense `u32` arrays instead of chasing `Vec<GateId>` per gate.
+///
+/// Index convention: gates and nets are addressed by their `index()`;
+/// `fanin_start`/`fanout_start` are the usual CSR offsets with one extra
+/// trailing entry.
+#[derive(Debug, Clone)]
+pub struct NetlistCsr {
+    /// Gates in topological order (same contract as [`topo_order`]).
+    pub order: Vec<GateId>,
+    /// CSR offsets into `fanin_nets`, length `num_gates + 1`.
+    pub fanin_start: Vec<u32>,
+    /// Net index of every gate input, in `gate.inputs` order.
+    pub fanin_nets: Vec<u32>,
+    /// Output net index of every gate.
+    pub gate_output: Vec<u32>,
+    /// CSR offsets into `fanout_gates`, length `num_nets + 1`.
+    pub fanout_start: Vec<u32>,
+    /// Gate index of every net load, in `net.loads` order.
+    pub fanout_gates: Vec<u32>,
+    /// Logic level per gate (same contract as [`levels`]).
+    pub level: Vec<u32>,
+}
+
+impl NetlistCsr {
+    /// Builds the CSR arrays (one Kahn pass plus two linear sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle.
+    pub fn build(netlist: &Netlist) -> Self {
+        let order = topo_order(netlist);
+        let n = netlist.num_gates();
+        let nets = netlist.num_nets();
+
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin_nets = Vec::new();
+        let mut gate_output = Vec::with_capacity(n);
+        for gate in netlist.gates() {
+            fanin_start.push(fanin_nets.len() as u32);
+            fanin_nets.extend(gate.inputs.iter().map(|i| i.index() as u32));
+            gate_output.push(gate.output.index() as u32);
+        }
+        fanin_start.push(fanin_nets.len() as u32);
+
+        let mut fanout_start = Vec::with_capacity(nets + 1);
+        let mut fanout_gates = Vec::new();
+        for net_idx in 0..nets {
+            fanout_start.push(fanout_gates.len() as u32);
+            let net = netlist.net(crate::ir::NetId::from_index(net_idx));
+            fanout_gates.extend(net.loads.iter().map(|&(g, _)| g.index() as u32));
+        }
+        fanout_start.push(fanout_gates.len() as u32);
+
+        // Levels straight off the already-computed order (the free-standing
+        // `levels` helper re-runs Kahn; here the order is in hand).
+        let mut level = vec![0u32; n];
+        for &g in &order {
+            let mut lvl = 0u32;
+            for &i in &netlist.gate(g).inputs {
+                if let NetDriver::Gate(src) = netlist.net(i).driver {
+                    lvl = lvl.max(level[src.index()] + 1);
+                } else {
+                    lvl = lvl.max(1);
+                }
+            }
+            level[g.index()] = lvl;
+        }
+
+        Self {
+            order,
+            fanin_start,
+            fanin_nets,
+            gate_output,
+            fanout_start,
+            fanout_gates,
+            level,
+        }
+    }
+
+    /// The fanin net indices of gate `g`.
+    pub fn fanins(&self, g: usize) -> &[u32] {
+        &self.fanin_nets[self.fanin_start[g] as usize..self.fanin_start[g + 1] as usize]
+    }
+
+    /// The gate indices loading net `net`.
+    pub fn fanouts(&self, net: usize) -> &[u32] {
+        &self.fanout_gates[self.fanout_start[net] as usize..self.fanout_start[net + 1] as usize]
+    }
 }
 
 /// One ranked arrival candidate at a gate: the arrival weight plus the

@@ -20,16 +20,18 @@ use crate::store::DesignStore;
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::TimerConfig;
 use nsigma_core::{
-    read_coefficients, write_coefficients, IncrementalTimer, MergeRule, NsigmaTimer, YieldCurve,
+    read_coefficients, write_coefficients, IncrementalTimer, MergeRule, NsigmaTimer, QueryScratch,
+    YieldCurve,
 };
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::find_critical_path;
 use nsigma_netlist::bench_format;
 use nsigma_netlist::generators::random_dag::{synthetic_circuit, Iscas85, SyntheticConfig};
 use nsigma_netlist::mapping::map_to_cells;
-use nsigma_netlist::{k_longest_paths_by, Path};
+use nsigma_netlist::Path;
 use nsigma_process::Technology;
 use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use std::cell::RefCell;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -305,7 +307,7 @@ impl Engine {
         let inc = slot.read().expect("design slot poisoned");
         let path = find_critical_path(inc.design())
             .ok_or_else(|| ("not_found", format!("design {design:?} has no gates")))?;
-        let timing = inc.timer().analyze_path(inc.design(), &path);
+        let timing = inc.compiled().analyze_path(inc.timer(), &path);
         Ok(vec![
             ("design", Value::Str(design.to_string())),
             ("gates", path_gates_json(inc.design(), &path)),
@@ -317,10 +319,10 @@ impl Engine {
     fn worst_paths(&self, design: &str, k: usize) -> ExecResult {
         let slot = self.lookup(design)?;
         let inc = slot.read().expect("design slot poisoned");
-        let paths = ranked_paths(inc.design(), k.max(1));
+        let paths = ranked_paths(&inc, k.max(1));
         let mut out = Vec::with_capacity(paths.len());
         for path in &paths {
-            let timing = inc.timer().analyze_path(inc.design(), path);
+            let timing = inc.compiled().analyze_path(inc.timer(), path);
             out.push(Value::Obj(vec![
                 ("gates".to_string(), path_gates_json(inc.design(), path)),
                 ("stages".to_string(), Value::Num(path.len() as f64)),
@@ -336,14 +338,14 @@ impl Engine {
     fn quantile(&self, design: &str, rank: usize, sigma: f64) -> ExecResult {
         let slot = self.lookup(design)?;
         let inc = slot.read().expect("design slot poisoned");
-        let paths = ranked_paths(inc.design(), rank + 1);
+        let paths = ranked_paths(&inc, rank + 1);
         let path = paths.get(rank).ok_or_else(|| {
             (
                 "not_found",
                 format!("design {design:?} has only {} ranked paths", paths.len()),
             )
         })?;
-        let timing = inc.timer().analyze_path(inc.design(), path);
+        let timing = inc.compiled().analyze_path(inc.timer(), path);
         let q = timing.quantiles;
         let delay = if sigma.fract() == 0.0 && (-3.0..=3.0).contains(&sigma) {
             q[integer_level(sigma as i32)]
@@ -425,7 +427,7 @@ impl Engine {
                     ("hit_rate".to_string(), Value::Num(cache.hit_rate())),
                 ]),
             ),
-            ("metrics", self.metrics.snapshot()),
+            ("metrics", self.metrics.snapshot_with_cache(&cache)),
         ]
     }
 
@@ -439,25 +441,18 @@ impl Engine {
     }
 }
 
-/// The worst-path ranking shared with `report::report_worst_paths`: nominal
-/// per-stage arc delays as additive weights, then a k-longest search.
-fn ranked_paths(design: &Design, k: usize) -> Vec<Path> {
-    let weights: Vec<f64> = design
-        .netlist
-        .gate_ids()
-        .map(|g| {
-            let gate = design.netlist.gate(g);
-            let cell = design.lib.cell(gate.cell);
-            nsigma_cells::timing::nominal_arc(
-                &design.tech,
-                cell,
-                20e-12,
-                design.stage_effective_load(gate.output),
-            )
-            .delay
-        })
-        .collect();
-    k_longest_paths_by(&design.netlist, |g| weights[g.index()], k)
+thread_local! {
+    /// Per-worker scratch arenas: each worker (and connection) thread keeps
+    /// one set of arrival/slew buffers and k-worst DP tables, reused across
+    /// every query it serves.
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// The worst-path ranking shared with `report::report_worst_paths`:
+/// precompiled nominal arc weights over the precompiled topo order, using
+/// this worker's scratch tables.
+fn ranked_paths(inc: &IncrementalTimer<Arc<NsigmaTimer>>, k: usize) -> Vec<Path> {
+    SCRATCH.with(|s| inc.compiled().ranked_paths(k, &mut s.borrow_mut().paths))
 }
 
 fn integer_level(n: i32) -> SigmaLevel {

@@ -9,7 +9,12 @@ export CARGO_NET_OFFLINE=true
 cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The compiled-vs-legacy equivalence suite must pass in release too: the
+# bit-identity claims are about the optimized code the server actually runs.
+cargo test -q --offline --release -p nsigma --test compiled
 cargo clippy --offline --workspace --all-targets -- -D warnings
+# Criterion benches must at least compile; running them is opt-in.
+cargo bench --offline --workspace --no-run
 
 # The static-analysis pass must stay clean on every generated benchmark
 # circuit (exit code is nonzero on any error-severity diagnostic).

@@ -1,0 +1,222 @@
+//! Equivalence suite for the compiled timing graph: every query the
+//! server or CLI can issue must produce bit-identical answers whether it
+//! runs over the legacy string-keyed path or the interned/CSR compiled
+//! path, and the sharded stage cache must account for every lookup under
+//! concurrency.
+
+use nsigma_cells::CellLibrary;
+use nsigma_core::sta::TimerConfig;
+use nsigma_core::{CompiledDesign, IncrementalTimer, MergeRule, NsigmaTimer, QueryScratch};
+use nsigma_mc::design::Design;
+use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::mapping::map_to_cells;
+use nsigma_netlist::{k_longest_paths_by, GateId, Path, PathScratch};
+use nsigma_process::Technology;
+use nsigma_stats::quantile::QuantileSet;
+
+const SEED: u64 = 11;
+const PARASITIC_SEED: u64 = 7;
+
+fn timer_config() -> TimerConfig {
+    let mut cfg = TimerConfig::standard(SEED);
+    cfg.char_samples = 300;
+    cfg.wire.nets = 1;
+    cfg.wire.samples = 200;
+    cfg
+}
+
+fn build_timer(tech: &Technology, lib: &CellLibrary) -> NsigmaTimer {
+    NsigmaTimer::build(tech, lib, &timer_config()).expect("timer build")
+}
+
+fn c432_design(tech: &Technology, lib: &CellLibrary) -> Design {
+    let netlist = map_to_cells(&Iscas85::C432.generate(), lib).expect("mapping");
+    Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, PARASITIC_SEED)
+}
+
+fn assert_bits_eq(a: &QuantileSet, b: &QuantileSet, what: &str) {
+    for (i, (x, y)) in a.as_array().iter().zip(b.as_array()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: quantile {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// The legacy worst-path ranking, inlined exactly as the pre-compiled
+/// server and `report_worst_paths` computed it.
+fn legacy_ranked_paths(design: &Design, k: usize) -> Vec<Path> {
+    let weights: Vec<f64> = design
+        .netlist
+        .gate_ids()
+        .map(|g| {
+            let gate = design.netlist.gate(g);
+            let cell = design.lib.cell(gate.cell);
+            nsigma_cells::timing::nominal_arc(
+                &design.tech,
+                cell,
+                20e-12,
+                design.stage_effective_load(gate.output),
+            )
+            .delay
+        })
+        .collect();
+    k_longest_paths_by(&design.netlist, |g| weights[g.index()], k)
+}
+
+#[test]
+fn analyze_design_matches_legacy_bit_for_bit() {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = build_timer(&tech, &lib);
+    let design = c432_design(&tech, &lib);
+    let compiled = CompiledDesign::compile(&timer, design.clone());
+
+    let mut scratch = QueryScratch::new();
+    for rule in [MergeRule::Pessimistic, MergeRule::Clark { rho: 0.3 }] {
+        let legacy = timer.analyze_design_with(&design, rule);
+        let fast = compiled.analyze_design_with(&timer, rule, &mut scratch);
+        assert_bits_eq(&legacy, &fast, &format!("analyze_design {rule:?}"));
+    }
+    let legacy_early = timer.analyze_design_early(&design);
+    let fast_early = compiled.analyze_design_early(&timer, &mut scratch);
+    assert_bits_eq(&legacy_early, &fast_early, "analyze_design_early");
+}
+
+#[test]
+fn analyze_path_matches_legacy_bit_for_bit() {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = build_timer(&tech, &lib);
+    let design = c432_design(&tech, &lib);
+    let compiled = CompiledDesign::compile(&timer, design.clone());
+
+    for path in legacy_ranked_paths(&design, 5) {
+        let legacy = timer.analyze_path(&design, &path);
+        let fast = compiled.analyze_path(&timer, &path);
+        assert_bits_eq(&legacy.quantiles, &fast.quantiles, "analyze_path total");
+        assert_eq!(legacy.stages.len(), fast.stages.len());
+        for (ls, fs) in legacy.stages.iter().zip(&fast.stages) {
+            assert_eq!(ls.gate, fs.gate);
+            assert_eq!(ls.cell, fs.cell);
+            assert_eq!(ls.input_slew.to_bits(), fs.input_slew.to_bits());
+            assert_bits_eq(&ls.cell_quantiles, &fs.cell_quantiles, "stage cell");
+            assert_bits_eq(&ls.wire_quantiles, &fs.wire_quantiles, "stage wire");
+        }
+    }
+}
+
+#[test]
+fn worst_paths_ranking_matches_legacy() {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = build_timer(&tech, &lib);
+    let design = c432_design(&tech, &lib);
+    let compiled = CompiledDesign::compile(&timer, design.clone());
+
+    let legacy = legacy_ranked_paths(&design, 8);
+    let mut scratch = PathScratch::new();
+    let fast = compiled.ranked_paths(8, &mut scratch);
+    assert_eq!(legacy.len(), fast.len());
+    for (lp, fp) in legacy.iter().zip(&fast) {
+        assert_eq!(lp.gates, fp.gates, "path gate sequence differs");
+        assert_eq!(lp.nets, fp.nets, "path net sequence differs");
+    }
+    // Reusing the scratch must not perturb a second identical query.
+    let again = compiled.ranked_paths(8, &mut scratch);
+    for (fp, ap) in fast.iter().zip(&again) {
+        assert_eq!(fp.gates, ap.gates);
+    }
+}
+
+#[test]
+fn incremental_resize_sequence_matches_legacy_full_reanalysis() {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = build_timer(&tech, &lib);
+    let design = c432_design(&tech, &lib);
+
+    // Twin design mutated in lock-step through the legacy API.
+    let mut twin = design.clone();
+    let mut inc = IncrementalTimer::new(&timer, design, MergeRule::Pessimistic);
+    assert_bits_eq(
+        &timer.analyze_design_with(&twin, MergeRule::Pessimistic),
+        &inc.worst_output(),
+        "initial full analysis",
+    );
+
+    let total_gates = twin.netlist.num_gates();
+    let picks = [3usize, 57, 111, 3, 200];
+    let strengths = [8u32, 4, 8, 1, 2];
+    for (step, (&gi, &strength)) in picks.iter().zip(&strengths).enumerate() {
+        let gate = GateId::from_index(gi % total_gates);
+        let kind = {
+            let g = twin.netlist.gate(gate);
+            twin.lib.cell(g.cell).kind()
+        };
+        let Some(cell) = twin.lib.find_kind(kind, strength) else {
+            continue;
+        };
+        twin.replace_gate_cell(gate, cell);
+        let incremental = inc.resize_gate(gate, strength);
+        let legacy = timer.analyze_design_with(&twin, MergeRule::Pessimistic);
+        assert_bits_eq(&legacy, &incremental, &format!("after resize {step}"));
+        assert!(
+            inc.last_recompute_count() <= total_gates,
+            "recompute visited more gates than the design has"
+        );
+    }
+}
+
+#[test]
+fn eight_threads_account_for_every_cache_lookup() {
+    // A dedicated timer: its cache counters must explain exactly the
+    // lookups this test issues, so no other test may share it.
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let timer = build_timer(&tech, &lib);
+    let design = c432_design(&tech, &lib);
+    let compiled = CompiledDesign::compile(&timer, design.clone());
+    let gates = design.netlist.num_gates() as u64;
+
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 16;
+    let reference = timer.analyze_design_with(&design, MergeRule::Pessimistic);
+    let before = timer.cache_stats();
+    assert_eq!(before.hits + before.misses, gates, "reference pass lookups");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = QueryScratch::new();
+                    for _ in 0..ITERS {
+                        let q = compiled.analyze_design_with(
+                            &timer,
+                            MergeRule::Pessimistic,
+                            &mut scratch,
+                        );
+                        assert_bits_eq(&reference, &q, "concurrent analyze_design");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+
+    let stats = timer.cache_stats();
+    let lookups = gates * (THREADS * ITERS + 1);
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "every stage lookup must land in exactly one shard counter"
+    );
+    // Concurrent first-touch misses may duplicate a computation, but an
+    // entry is only ever inserted on a miss.
+    assert!(stats.entries <= stats.misses);
+    assert!(stats.misses < lookups, "steady-state queries must hit");
+    assert!(stats.hit_rate() > 0.9, "hit rate {:.3}", stats.hit_rate());
+}
