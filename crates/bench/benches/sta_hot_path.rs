@@ -1,27 +1,20 @@
-//! Criterion benchmarks of the query hot path: legacy string-keyed
-//! whole-design analysis vs the compiled timing graph, plus the compiled
-//! path ranking. The JSON snapshot lives in `BENCH_sta.json` (see the
-//! `sta_hot_path` binary); this harness is for statistically rigorous
-//! before/after comparisons during development.
+//! Criterion benchmarks of the query hot path: whole-design analysis and
+//! path ranking through the production [`TimingSession`] engine. The JSON
+//! snapshot lives in `BENCH_sta.json` (see the `sta_hot_path` binary);
+//! this harness is for statistically rigorous before/after comparisons
+//! during development.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
-use nsigma_core::{CompiledDesign, MergeRule, QueryScratch};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_netlist::generators::random_dag::Iscas85;
 use nsigma_netlist::mapping::map_to_cells;
-use nsigma_netlist::PathScratch;
 use nsigma_process::Technology;
 use std::hint::black_box;
 
-struct Setup {
-    design: Design,
-    timer: NsigmaTimer,
-    compiled: CompiledDesign,
-}
-
-fn setup() -> Setup {
+fn setup() -> TimingSession<NsigmaTimer> {
     let tech = Technology::synthetic_28nm();
     let lib = CellLibrary::standard();
     let netlist = map_to_cells(&Iscas85::C432.generate(), &lib).expect("maps");
@@ -31,39 +24,26 @@ fn setup() -> Setup {
     cfg.wire.nets = 1;
     cfg.wire.samples = 300;
     let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
-    let compiled = CompiledDesign::compile(&timer, design.clone());
-    Setup {
-        design,
-        timer,
-        compiled,
-    }
+    TimingSession::new(timer, design, MergeRule::Pessimistic).expect("session")
 }
 
 fn bench_hot_path(c: &mut Criterion) {
-    let s = setup();
+    let session = setup();
     let mut group = c.benchmark_group("sta_hot_path");
 
-    // Warm the shared stage cache so both sides measure steady state.
-    black_box(s.timer.analyze_design(&s.design));
+    // Warm the shared stage cache so steady state is what's measured.
+    black_box(session.analyze_design());
 
-    group.bench_function("analyze_design_legacy", |b| {
-        b.iter(|| black_box(s.timer.analyze_design(&s.design)))
+    group.bench_function("analyze_design_session", |b| {
+        b.iter(|| black_box(session.analyze_design()))
     });
 
-    let mut scratch = QueryScratch::new();
-    group.bench_function("analyze_design_compiled", |b| {
-        b.iter(|| {
-            black_box(s.compiled.analyze_design_with(
-                &s.timer,
-                MergeRule::Pessimistic,
-                &mut scratch,
-            ))
-        })
+    group.bench_function("analyze_design_early_session", |b| {
+        b.iter(|| black_box(session.analyze_design_early()))
     });
 
-    let mut paths = PathScratch::new();
-    group.bench_function("ranked_paths_compiled_k4", |b| {
-        b.iter(|| black_box(s.compiled.ranked_paths(4, &mut paths)))
+    group.bench_function("ranked_paths_session_k4", |b| {
+        b.iter(|| black_box(session.worst_paths(4)))
     });
 
     group.finish();

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nsigma_cells::cell::{Cell, CellKind};
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, sample_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
@@ -54,9 +55,11 @@ fn bench_analysis_vs_mc(c: &mut Criterion) {
     let s = setup();
     let mut group = c.benchmark_group("path_delay");
 
+    let session =
+        TimingSession::new(&s.timer, s.design.clone(), MergeRule::Pessimistic).expect("session");
     // The model: one pass over the path's coefficient tables.
     group.bench_function("nsigma_analyze_path", |b| {
-        b.iter(|| black_box(s.timer.analyze_path(&s.design, &s.path)))
+        b.iter(|| black_box(session.analyze_path(&s.path).expect("in-design path")))
     });
 
     // One golden MC trial (the paper's SPICE runs 5000 of these per path).
@@ -118,20 +121,21 @@ fn bench_model_components(c: &mut Criterion) {
         b.iter(|| black_box(s.timer.wire_model().predict_xw(&driver, &load)))
     });
 
+    let session =
+        TimingSession::new(&s.timer, s.design.clone(), MergeRule::Pessimistic).expect("session");
     group.bench_function("analyze_whole_design", |b| {
-        b.iter(|| black_box(s.timer.analyze_design(&s.design)))
+        b.iter(|| black_box(session.analyze_design()))
     });
     group.finish();
 }
 
 fn bench_incremental(c: &mut Criterion) {
-    use nsigma_core::incremental::IncrementalTimer;
-    use nsigma_core::stat_max::MergeRule;
     let s = setup();
     let mut group = c.benchmark_group("incremental");
     group.sample_size(20);
 
-    // Full re-analysis vs cone-limited resize on the same edit.
+    // Full re-analysis (fresh session over the edited design, including
+    // the compile) vs cone-limited resize inside a live session.
     group.bench_function("full_reanalysis_after_resize", |b| {
         b.iter_batched(
             || s.design.clone(),
@@ -140,17 +144,22 @@ fn bench_incremental(c: &mut Criterion) {
                 let kind = d.lib.cell(d.netlist.gate(g).cell).kind();
                 let cell = d.lib.find_kind(kind, 8).expect("x8 exists");
                 d.replace_gate_cell(g, cell);
-                black_box(s.timer.analyze_design(&d))
+                let fresh =
+                    TimingSession::new(&s.timer, d, MergeRule::Pessimistic).expect("session");
+                black_box(fresh.worst_output())
             },
             BatchSize::SmallInput,
         )
     });
     group.bench_function("incremental_resize", |b| {
         b.iter_batched(
-            || IncrementalTimer::new(&s.timer, s.design.clone(), MergeRule::Pessimistic),
-            |mut inc| {
+            || {
+                TimingSession::new(&s.timer, s.design.clone(), MergeRule::Pessimistic)
+                    .expect("session")
+            },
+            |mut session| {
                 let g = s.path.gates[s.path.gates.len() / 2];
-                black_box(inc.resize_gate(g, 8))
+                black_box(session.resize_gate(g, 8).expect("resize"))
             },
             BatchSize::SmallInput,
         )

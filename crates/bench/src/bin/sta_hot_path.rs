@@ -1,7 +1,6 @@
-//! Hot-path benchmark of whole-design analysis: the legacy string-keyed
-//! `NsigmaTimer::analyze_design` against the compiled timing graph
-//! (`CompiledDesign::analyze_design_with` + reused scratch), single
-//! threaded per design, then a thread sweep of concurrent compiled
+//! Hot-path benchmark of whole-design analysis through the production
+//! [`TimingSession`] engine (compiled timing graph + pooled scratch),
+//! single threaded per design, then a thread sweep of concurrent session
 //! queries to show the sharded stage cache scaling with cores.
 //!
 //! Emits `BENCH_sta.json`. Run with:
@@ -9,7 +8,7 @@
 
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
-use nsigma_core::{CompiledDesign, MergeRule, QueryScratch};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_netlist::generators::random_dag::Iscas85;
 use nsigma_netlist::mapping::map_to_cells;
@@ -24,9 +23,7 @@ const PARASITIC_SEED: u64 = 7;
 struct DesignResult {
     name: &'static str,
     gates: usize,
-    legacy_us: f64,
     compiled_us: f64,
-    speedup: f64,
 }
 
 struct ScaleResult {
@@ -48,60 +45,53 @@ fn time_per_call(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn bench_design(timer: &NsigmaTimer, bench: Iscas85, lib: &CellLibrary) -> DesignResult {
+fn session_for<'t>(
+    timer: &'t NsigmaTimer,
+    bench: Iscas85,
+    lib: &CellLibrary,
+) -> TimingSession<&'t NsigmaTimer> {
     let tech = Technology::synthetic_28nm();
     let netlist = map_to_cells(&bench.generate(), lib).expect("mapping");
     let design = Design::with_generated_parasitics(tech, lib.clone(), netlist, PARASITIC_SEED);
-    let gates = design.netlist.num_gates();
-    let compiled = CompiledDesign::compile(timer, design.clone());
+    TimingSession::new(timer, design, MergeRule::Pessimistic).expect("session")
+}
 
-    // Warm the stage cache so both paths measure steady-state serving (the
-    // same shards back both, so neither side gets a cold-cache handicap).
-    let reference = timer.analyze_design(&design);
-    let mut scratch = QueryScratch::new();
-    let check = compiled.analyze_design_with(timer, MergeRule::Pessimistic, &mut scratch);
+fn bench_design(timer: &NsigmaTimer, bench: Iscas85, lib: &CellLibrary) -> DesignResult {
+    let session = session_for(timer, bench, lib);
+    let gates = session.design().netlist.num_gates();
+
+    // Warm the stage cache so steady-state serving is what's measured,
+    // and pin the engine's determinism while at it.
+    let first = session.analyze_design();
+    let again = session.analyze_design();
     assert_eq!(
-        reference.as_array().map(f64::to_bits),
-        check.as_array().map(f64::to_bits),
-        "compiled analysis must stay bit-identical to the legacy path"
+        first.as_array().map(f64::to_bits),
+        again.as_array().map(f64::to_bits),
+        "session analysis must be deterministic"
     );
 
     let iters = (20_000 / gates).max(4);
-    let legacy_us = time_per_call(7, iters, || {
-        std::hint::black_box(timer.analyze_design(&design));
-    });
     let compiled_us = time_per_call(7, iters, || {
-        std::hint::black_box(compiled.analyze_design_with(
-            timer,
-            MergeRule::Pessimistic,
-            &mut scratch,
-        ));
+        std::hint::black_box(session.analyze_design());
     });
 
     DesignResult {
         name: bench.name(),
         gates,
-        legacy_us,
         compiled_us,
-        speedup: legacy_us / compiled_us,
     }
 }
 
-/// Concurrent compiled `analyze_design` throughput at `threads` workers,
-/// each with its own scratch, all hammering one timer's shared cache.
-fn bench_scaling(timer: &NsigmaTimer, compiled: &CompiledDesign, threads: usize) -> ScaleResult {
+/// Concurrent session `analyze_design` throughput at `threads` workers,
+/// sharing one session's scratch pool, all hammering one timer's cache.
+fn bench_scaling(session: &TimingSession<&NsigmaTimer>, threads: usize) -> ScaleResult {
     const ITERS_PER_THREAD: usize = 400;
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut scratch = QueryScratch::new();
                 for _ in 0..ITERS_PER_THREAD {
-                    std::hint::black_box(compiled.analyze_design_with(
-                        timer,
-                        MergeRule::Pessimistic,
-                        &mut scratch,
-                    ));
+                    std::hint::black_box(session.analyze_design());
                 }
             });
         }
@@ -126,20 +116,17 @@ fn main() {
     for bench in DESIGNS {
         let r = bench_design(&timer, bench, &lib);
         println!(
-            "{:>6} ({:>4} gates): legacy {:8.1} µs, compiled {:7.1} µs — {:.2}x",
-            r.name, r.gates, r.legacy_us, r.compiled_us, r.speedup
+            "{:>6} ({:>4} gates): session {:7.1} µs/analysis",
+            r.name, r.gates, r.compiled_us
         );
         results.push(r);
     }
 
     // Thread scaling on the largest design.
-    let netlist = map_to_cells(&Iscas85::C6288.generate(), &lib).expect("mapping");
-    let design =
-        Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, PARASITIC_SEED);
-    let compiled = CompiledDesign::compile(&timer, design);
+    let session = session_for(&timer, Iscas85::C6288, &lib);
     let mut scaling = Vec::new();
     for threads in THREAD_SWEEP {
-        let r = bench_scaling(&timer, &compiled, threads);
+        let r = bench_scaling(&session, threads);
         println!(
             "{} thread(s): {:.0} analyze_design/s on c6288",
             threads, r.qps
@@ -157,8 +144,8 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"design\": \"{}\", \"gates\": {}, \"legacy_us\": {:.2}, \"compiled_us\": {:.2}, \"speedup\": {:.2}}}",
-            r.name, r.gates, r.legacy_us, r.compiled_us, r.speedup
+            "    {{\"design\": \"{}\", \"gates\": {}, \"compiled_us\": {:.2}}}",
+            r.name, r.gates, r.compiled_us
         );
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

@@ -10,6 +10,7 @@ use nsigma_bench::Table;
 use nsigma_cells::cell::{Cell, CellKind};
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
@@ -52,7 +53,9 @@ fn main() {
         let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
 
         let path = find_critical_path(&design).expect("path");
-        let model = timer.analyze_path(&design, &path);
+        let session =
+            TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
+        let model = session.analyze_path(&path).expect("in-design path");
         let golden = simulate_path_mc(
             &design,
             &path,

@@ -11,6 +11,7 @@ use nsigma_cells::cell::{Cell, CellKind};
 use nsigma_cells::CellLibrary;
 use nsigma_core::extended::{cornish_fisher_quantile, YieldCurve};
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
@@ -41,7 +42,9 @@ fn main() {
     let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
 
     let path = find_critical_path(&design).expect("path");
-    let model = timer.analyze_path(&design, &path);
+    let session =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
+    let model = session.analyze_path(&path).expect("in-design path");
     let curve = YieldCurve::new(&model.quantiles);
 
     eprintln!("running 50k-sample golden MC for curve validation...");

@@ -5,9 +5,9 @@ use crate::args::{Args, ArgsError};
 use nsigma_cells::characterize::{characterize_cell, CharacterizeConfig};
 use nsigma_cells::liberty::{write_liberty, LibertyCell};
 use nsigma_cells::CellLibrary;
-use nsigma_core::report::{report_path, report_worst_paths_compiled};
+use nsigma_core::report::{report_path, report_worst_paths};
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
-use nsigma_core::{read_coefficients, write_coefficients, CompiledDesign};
+use nsigma_core::{read_coefficients, write_coefficients, MergeRule, QueryError, TimingSession};
 use nsigma_interconnect::spef;
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
@@ -37,6 +37,12 @@ impl From<ArgsError> for FlowError {
 impl From<std::io::Error> for FlowError {
     fn from(e: std::io::Error) -> Self {
         FlowError(format!("io error: {e}"))
+    }
+}
+
+impl From<QueryError> for FlowError {
+    fn from(e: QueryError) -> Self {
+        FlowError(format!("timing query: {e}"))
     }
 }
 
@@ -129,30 +135,24 @@ pub fn run_analyze(args: &Args) -> Result<String, FlowError> {
     };
     let k = args.get_usize("paths", 1)?;
 
-    // Compile once; every query below (critical path, k-worst ranking,
-    // SDF export) runs off the interned graph.
-    let compiled = CompiledDesign::compile(&timer, design);
-    let design = compiled.design();
+    // One session for every query below: critical path, k-worst ranking
+    // and SDF export all run off the same compiled graph, and a design
+    // referencing uncalibrated cells is rejected here with a typed error
+    // instead of panicking mid-query.
+    let session = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
 
     let mut out = String::new();
     if k <= 1 {
-        let path =
-            find_critical_path(design).ok_or_else(|| err("design has no combinational path"))?;
-        let timing = compiled.analyze_path(&timer, &path);
-        out.push_str(&report_path(design, &path, &timing, clock));
+        let (path, timing) = session
+            .critical_path()
+            .ok_or_else(|| err("design has no combinational path"))?;
+        out.push_str(&report_path(session.design(), &path, &timing, clock));
     } else {
-        let mut scratch = nsigma_netlist::PathScratch::new();
-        out.push_str(&report_worst_paths_compiled(
-            &timer,
-            &compiled,
-            k,
-            clock,
-            &mut scratch,
-        ));
+        out.push_str(&report_worst_paths(&session, k, clock));
     }
 
     if let Some(sdf_path) = args.get("sdf") {
-        std::fs::write(sdf_path, nsigma_core::sdf::write_sdf(&timer, design))?;
+        std::fs::write(sdf_path, session.sdf())?;
         out.push_str(&format!("\nwrote SDF to {sdf_path}\n"));
     }
     Ok(out)

@@ -436,8 +436,8 @@ mod tests {
             netlist,
             13,
         );
-        let (path, original) = timer.analyze_critical_path(&design).unwrap();
-        let reloaded = restored.analyze_path(&design, &path);
+        let (path, original) = crate::reference::analyze_critical_path(&timer, &design).unwrap();
+        let reloaded = crate::reference::analyze_path(&restored, &design, &path);
         for lvl in SigmaLevel::ALL {
             assert_eq!(
                 original.quantiles[lvl].to_bits(),

@@ -15,9 +15,14 @@
 //!
 //! Queries then allocate nothing: callers pass a [`QueryScratch`] whose
 //! arrival/slew buffers are reused across calls. Every query is
-//! bit-identical to the string-keyed path in [`crate::sta`] — the compiled
-//! arrays hold exactly the values the legacy code recomputes per call.
+//! bit-identical to the string-keyed oracle in [`crate::reference`] — the
+//! compiled arrays hold exactly the values the reference code recomputes
+//! per call. Production callers do not use this type directly: they go
+//! through [`crate::session::TimingSession`], which owns a compiled design
+//! plus the scratch pool and converts failures into typed
+//! [`QueryError`]s.
 
+use crate::session::QueryError;
 use crate::sta::{NsigmaTimer, PathTiming, StageTiming};
 use crate::stat_max::MergeRule;
 use nsigma_mc::design::Design;
@@ -39,6 +44,11 @@ pub struct QueryScratch {
     slew: Vec<f64>,
     /// DP tables for ranked-path queries.
     pub paths: PathScratch,
+    /// Stage-cache hits observed by queries run with this scratch since
+    /// the counters were last taken (the session aggregates these).
+    pub(crate) cache_hits: u64,
+    /// Stage-cache misses, same accounting.
+    pub(crate) cache_misses: u64,
 }
 
 impl QueryScratch {
@@ -53,6 +63,23 @@ impl QueryScratch {
         self.arrival.resize(nets, QuantileSet::default());
         self.slew.clear();
         self.slew.resize(nets, input_slew);
+    }
+
+    /// Returns and zeroes the accumulated `(hits, misses)` counters.
+    pub(crate) fn take_cache_counters(&mut self) -> (u64, u64) {
+        let out = (self.cache_hits, self.cache_misses);
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        out
+    }
+
+    /// Records one stage-cache lookup outcome.
+    fn count_lookup(&mut self, hit: bool) {
+        if hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
     }
 }
 
@@ -87,11 +114,12 @@ pub struct CompiledDesign {
 impl CompiledDesign {
     /// Lowers `design` into the compiled form against `timer`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the design uses a cell the timer has no calibration for
-    /// (same message as the legacy query-time panic).
-    pub fn compile(timer: &NsigmaTimer, design: Design) -> Self {
+    /// [`QueryError::UnknownCell`] if the design uses a cell the timer has
+    /// no calibration for (what the pre-session code reported as a
+    /// query-time panic).
+    pub fn compile(timer: &NsigmaTimer, design: Design) -> Result<Self, QueryError> {
         let csr = NetlistCsr::build(&design.netlist);
         let n = design.netlist.num_gates();
         let nets = design.netlist.num_nets();
@@ -99,11 +127,9 @@ impl CompiledDesign {
         let mut gate_cal = Vec::with_capacity(n);
         for gate in design.netlist.gates() {
             let name = design.lib.cell(gate.cell).name();
-            gate_cal.push(
-                timer
-                    .cell_id(name)
-                    .unwrap_or_else(|| panic!("timer has no calibration for {name}")),
-            );
+            gate_cal.push(timer.cell_id(name).ok_or_else(|| QueryError::UnknownCell {
+                cell: name.to_string(),
+            })?);
         }
 
         let mut this = Self {
@@ -126,7 +152,7 @@ impl CompiledDesign {
         for idx in 0..n {
             this.recompile_path_weight(GateId::from_index(idx));
         }
-        this
+        Ok(this)
     }
 
     /// The underlying design (read-only).
@@ -247,20 +273,22 @@ impl CompiledDesign {
     /// and output net, and the path weights of the gate and its fanin-net
     /// drivers. Connectivity (and thus the CSR) is unchanged.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the timer has no calibration for the new cell.
+    /// [`QueryError::UnknownCell`] if the timer has no calibration for the
+    /// new cell. The design is left unmodified on error.
     pub fn resize_gate_cell(
         &mut self,
         timer: &NsigmaTimer,
         gate: GateId,
         cell: nsigma_cells::CellId,
-    ) {
-        self.design.replace_gate_cell(gate, cell);
+    ) -> Result<(), QueryError> {
         let name = self.design.lib.cell(cell).name();
-        self.gate_cal[gate.index()] = timer
-            .cell_id(name)
-            .unwrap_or_else(|| panic!("timer has no calibration for {name}"));
+        let cal = timer.cell_id(name).ok_or_else(|| QueryError::UnknownCell {
+            cell: name.to_string(),
+        })?;
+        self.design.replace_gate_cell(gate, cell);
+        self.gate_cal[gate.index()] = cal;
 
         let fanins: Vec<NetId> = self.design.netlist.gate(gate).inputs.clone();
         for &net in &fanins {
@@ -275,6 +303,7 @@ impl CompiledDesign {
                 self.recompile_path_weight(driver);
             }
         }
+        Ok(())
     }
 
     /// Block-based whole-design analysis with the default pessimistic
@@ -288,7 +317,7 @@ impl CompiledDesign {
         self.analyze_design_with(timer, MergeRule::Pessimistic, &mut QueryScratch::new())
     }
 
-    /// Compiled counterpart of [`NsigmaTimer::analyze_design_with`]:
+    /// Compiled counterpart of [`crate::reference::analyze_design_with`]:
     /// bit-identical arrivals, no per-query allocation or name hashing.
     ///
     /// # Panics
@@ -328,8 +357,9 @@ impl CompiledDesign {
                 }
             }
 
-            let (cell_q, out_slew) =
-                timer.stage_cell_quantiles_id(self.gate_cal[gi], in_slew, load);
+            let (cell_q, out_slew, hit) =
+                timer.stage_cell_quantiles_probe(self.gate_cal[gi], in_slew, load);
+            scratch.count_lookup(hit);
             let (wire_q, wire_mean) = self.worst_sink_wire(NetId::from_index(net));
 
             scratch.arrival[net] = in_arrival.add(&cell_q).add(&wire_q);
@@ -349,7 +379,7 @@ impl CompiledDesign {
         worst.unwrap_or_default()
     }
 
-    /// Compiled counterpart of [`NsigmaTimer::analyze_design_early`]
+    /// Compiled counterpart of [`crate::reference::analyze_design_early`]
     /// (hold-side earliest arrival), bit-identical.
     ///
     /// # Panics
@@ -386,8 +416,9 @@ impl CompiledDesign {
             }
             let in_arrival = in_arrival.unwrap_or_default();
 
-            let (cell_q, out_slew) =
-                timer.stage_cell_quantiles_id(self.gate_cal[gi], in_slew, load);
+            let (cell_q, out_slew, hit) =
+                timer.stage_cell_quantiles_probe(self.gate_cal[gi], in_slew, load);
+            scratch.count_lookup(hit);
             let (wire_q, wire_mean) = self.worst_sink_wire(NetId::from_index(net));
 
             scratch.arrival[net] = in_arrival.add(&cell_q).add(&wire_q);
@@ -407,13 +438,20 @@ impl CompiledDesign {
         earliest.unwrap_or_default()
     }
 
-    /// Compiled counterpart of [`NsigmaTimer::analyze_path`] (eq. 10 over
-    /// one path), bit-identical.
+    /// Compiled counterpart of [`crate::reference::analyze_path`] (eq. 10
+    /// over one path), bit-identical. `scratch` is used only for the
+    /// stage-cache counters; the session validates path gates before
+    /// calling in.
     ///
     /// # Panics
     ///
     /// Panics if the path references a gate outside this design.
-    pub fn analyze_path(&self, timer: &NsigmaTimer, path: &Path) -> PathTiming {
+    pub fn analyze_path(
+        &self,
+        timer: &NsigmaTimer,
+        path: &Path,
+        scratch: &mut QueryScratch,
+    ) -> PathTiming {
         let mut total = QuantileSet::default();
         let mut stages = Vec::with_capacity(path.len());
         let mut slew = timer.input_slew();
@@ -423,7 +461,9 @@ impl CompiledDesign {
             let net = self.csr.gate_output[gi] as usize;
             let load = self.net_load[net];
 
-            let (cell_q, out_slew) = timer.stage_cell_quantiles_id(self.gate_cal[gi], slew, load);
+            let (cell_q, out_slew, hit) =
+                timer.stage_cell_quantiles_probe(self.gate_cal[gi], slew, load);
+            scratch.count_lookup(hit);
             let (wire_q, wire_mean) =
                 self.path_sink_wire(NetId::from_index(net), path.gates.get(k + 1).copied());
 
@@ -495,8 +535,8 @@ mod tests {
     #[test]
     fn compiled_design_analysis_is_bit_identical() {
         let (timer, design) = setup();
-        let legacy = timer.analyze_design(&design);
-        let compiled = CompiledDesign::compile(&timer, design);
+        let legacy = crate::reference::analyze_design(&timer, &design);
+        let compiled = CompiledDesign::compile(&timer, design).unwrap();
         let fast = compiled.analyze_design(&timer);
         assert_eq!(legacy.as_array(), fast.as_array());
     }
@@ -504,8 +544,8 @@ mod tests {
     #[test]
     fn compiled_early_analysis_is_bit_identical() {
         let (timer, design) = setup();
-        let legacy = timer.analyze_design_early(&design);
-        let compiled = CompiledDesign::compile(&timer, design);
+        let legacy = crate::reference::analyze_design_early(&timer, &design);
+        let compiled = CompiledDesign::compile(&timer, design).unwrap();
         let fast = compiled.analyze_design_early(&timer, &mut QueryScratch::new());
         assert_eq!(legacy.as_array(), fast.as_array());
     }
@@ -514,16 +554,16 @@ mod tests {
     fn compiled_path_analysis_is_bit_identical() {
         let (timer, design) = setup();
         let path = nsigma_mc::path_sim::find_critical_path(&design).unwrap();
-        let legacy = timer.analyze_path(&design, &path);
-        let compiled = CompiledDesign::compile(&timer, design);
-        let fast = compiled.analyze_path(&timer, &path);
+        let legacy = crate::reference::analyze_path(&timer, &design, &path);
+        let compiled = CompiledDesign::compile(&timer, design).unwrap();
+        let fast = compiled.analyze_path(&timer, &path, &mut QueryScratch::new());
         assert_eq!(legacy, fast);
     }
 
     #[test]
     fn scratch_reuse_does_not_change_results() {
         let (timer, design) = setup();
-        let compiled = CompiledDesign::compile(&timer, design);
+        let compiled = CompiledDesign::compile(&timer, design).unwrap();
         let mut scratch = QueryScratch::new();
         let a = compiled.analyze_design_with(&timer, MergeRule::Pessimistic, &mut scratch);
         let b = compiled.analyze_design_with(&timer, MergeRule::Pessimistic, &mut scratch);

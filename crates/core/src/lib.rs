@@ -14,8 +14,15 @@
 //!   variability `X_w` composed of driver/load cell-specific coefficients
 //!   following Pelgrom's √(stack·strength) law, normalized to the FO4
 //!   inverter;
-//! * [`sta`] — the full N-sigma timer: characterization-driven build, path
-//!   analysis per eq. (10), and block-based whole-design analysis;
+//! * [`sta`] — the N-sigma timer build: characterization-driven
+//!   calibration, the interned cell-id table, and the sharded
+//!   stage-quantile cache;
+//! * [`session`] — **the** query engine: [`TimingSession`] owns a compiled
+//!   design plus scratch arenas and exposes whole-design/path/ranked-path
+//!   analysis, cone-limited ECO resizes, and SDF export with typed
+//!   [`QueryError`] results;
+//! * [`reference`] — the legacy string-keyed implementation, kept only as
+//!   the oracle of the differential-equivalence test suite;
 //! * [`extended`] — the ±6σ extension the paper mentions (Cornish–Fisher)
 //!   and timing-yield curves built from the sigma levels;
 //! * [`sdf`] — SDF export with the sigma levels as (min:typ:max) triplets;
@@ -24,8 +31,6 @@
 //! * [`compiled`] — the compiled timing graph: designs lowered once into
 //!   interned-id/CSR arrays with precomputed wire data, so queries run
 //!   allocation-free (see DESIGN.md, "Performance architecture");
-//! * [`incremental`] — cone-limited re-analysis after ECO gate resizes,
-//!   running over the compiled graph;
 //! * [`report`] — sign-off-style text timing reports (k-worst paths);
 //! * [`liberty_bridge`] — build calibrations from parsed Liberty LVF tables;
 //! * [`coeff_store`] — the Fig. 5 coefficients file (text LUT), so analysis
@@ -33,12 +38,14 @@
 //!
 //! # Examples
 //!
-//! End-to-end: build the timer, analyze a critical path, read the +3σ
-//! arrival.
+//! End-to-end: build the timer, open a session, analyze the critical
+//! path, read the +3σ arrival.
 //!
 //! ```no_run
 //! use nsigma_cells::CellLibrary;
+//! use nsigma_core::session::TimingSession;
 //! use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+//! use nsigma_core::stat_max::MergeRule;
 //! use nsigma_mc::design::Design;
 //! use nsigma_netlist::generators::arith::ripple_adder;
 //! use nsigma_netlist::mapping::map_to_cells;
@@ -52,7 +59,8 @@
 //! let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
 //!
 //! let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(42))?;
-//! let (path, timing) = timer.analyze_critical_path(&design).expect("non-empty");
+//! let session = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
+//! let (path, timing) = session.critical_path().expect("non-empty");
 //! println!("{} stages, +3σ = {:.1} ps", path.len(),
 //!          timing.quantiles[SigmaLevel::PlusThree] * 1e12);
 //! # Ok(())
@@ -66,10 +74,11 @@ pub mod cell_model;
 pub mod coeff_store;
 pub mod compiled;
 pub mod extended;
-pub mod incremental;
 pub mod liberty_bridge;
+pub mod reference;
 pub mod report;
 pub mod sdf;
+pub mod session;
 pub mod sta;
 pub mod stat_max;
 pub mod wire_model;
@@ -79,7 +88,7 @@ pub use cell_model::CellQuantileModel;
 pub use coeff_store::{read_coefficients, write_coefficients};
 pub use compiled::{CompiledDesign, QueryScratch};
 pub use extended::{cornish_fisher_quantile, extended_quantiles, YieldCurve};
-pub use incremental::IncrementalTimer;
+pub use session::{QueryError, TimingSession};
 pub use sta::{NsigmaTimer, PathTiming, StageTiming, TimerConfig};
 pub use stat_max::{clark_max, MergeRule};
 pub use wire_model::{cell_coefficient, WireCalibConfig, WireVariabilityModel};

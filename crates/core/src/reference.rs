@@ -1,0 +1,373 @@
+//! The reference (legacy) string-keyed query implementation — **test
+//! oracle only**.
+//!
+//! This module preserves the original per-query implementation that walks
+//! the design by name, re-derives loads and wire quantiles on every call,
+//! and allocates its working vectors per query. It exists for exactly one
+//! consumer: the differential-equivalence suite, which pins the production
+//! [`crate::session::TimingSession`] bit-for-bit against these functions.
+//! Nothing else — CLI, server, report, benches — may call it; new query
+//! features go in the session, and this module only changes when the
+//! semantics of the model itself change.
+//!
+//! The functions here intentionally keep the legacy panic behavior on
+//! unknown cells (the suite only feeds them valid designs); the typed
+//! [`crate::session::QueryError`] surface is a session-layer concern.
+
+use crate::sta::{NsigmaTimer, PathTiming, StageTiming};
+use crate::stat_max::MergeRule;
+use nsigma_cells::Cell;
+use nsigma_mc::design::Design;
+use nsigma_netlist::ir::{GateId, NetDriver, NetId};
+use nsigma_netlist::topo::Path;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+
+/// Analyzes one path: the paper's eq. (10), summing cell and wire
+/// sigma-level quantiles stage by stage with mean-slew propagation.
+///
+/// # Panics
+///
+/// Panics if the path references a cell the timer was not built for.
+pub fn analyze_path(timer: &NsigmaTimer, design: &Design, path: &Path) -> PathTiming {
+    let mut total = QuantileSet::default();
+    let mut stages = Vec::with_capacity(path.len());
+    let mut slew = timer.input_slew();
+
+    for (k, &g) in path.gates.iter().enumerate() {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let net = gate.output;
+        let load = design.stage_effective_load(net);
+
+        let (cell_q, out_slew) = timer.stage_cell_quantiles(cell.name(), slew, load);
+
+        let (wire_q, wire_mean) =
+            stage_wire_quantiles(timer, design, net, cell, path.gates.get(k + 1).copied());
+
+        total = total.add(&cell_q).add(&wire_q);
+        stages.push(StageTiming {
+            gate: gate.name.clone(),
+            cell: cell.name().to_string(),
+            input_slew: slew,
+            load,
+            cell_quantiles: cell_q,
+            wire_quantiles: wire_q,
+        });
+        slew = (out_slew + 2.0 * wire_mean).max(0.0);
+    }
+    PathTiming {
+        quantiles: total,
+        stages,
+    }
+}
+
+/// The N-sigma wire quantiles of a stage's output net toward the next
+/// path gate (or its first sink). Returns the zero set for unloaded
+/// nets. Also returns the mean wire delay for slew propagation.
+fn stage_wire_quantiles(
+    timer: &NsigmaTimer,
+    design: &Design,
+    net: NetId,
+    driver: &Cell,
+    next_gate: Option<GateId>,
+) -> (QuantileSet, f64) {
+    let Some(tree) = design.parasitic(net) else {
+        return (QuantileSet::default(), 0.0);
+    };
+    if tree.sinks().is_empty() {
+        return (QuantileSet::default(), 0.0);
+    }
+    let loads = design.load_cells(net);
+    let bases = crate::wire_model::nominal_wire_means(&design.tech, tree, &loads, driver);
+    // The sink feeding the next path gate, or — in block-based mode
+    // (no specific successor) — the worst sink of the net.
+    let pos = next_gate
+        .and_then(|next| {
+            design
+                .netlist
+                .net(net)
+                .loads
+                .iter()
+                .position(|&(lg, _)| lg == next)
+        })
+        .unwrap_or_else(|| {
+            bases
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        });
+    let base = bases[pos];
+    let load_cell = loads[pos];
+    let q = timer.wire_model().wire_quantiles(base, driver, load_cell);
+    let mean = timer.wire_model().predict_mean(base, driver, load_cell);
+    (q, mean)
+}
+
+/// Analyzes the nominal critical path of a design: finds it, then applies
+/// [`analyze_path`].
+///
+/// Returns `None` for an empty design.
+pub fn analyze_critical_path(timer: &NsigmaTimer, design: &Design) -> Option<(Path, PathTiming)> {
+    let path = nsigma_mc::path_sim::find_critical_path(design)?;
+    let timing = analyze_path(timer, design, &path);
+    Some((path, timing))
+}
+
+/// Block-based whole-design analysis with the default pessimistic
+/// (elementwise-max) merge. See [`analyze_design_with`].
+///
+/// # Panics
+///
+/// Panics if the design has no gates.
+pub fn analyze_design(timer: &NsigmaTimer, design: &Design) -> QuantileSet {
+    analyze_design_with(timer, design, MergeRule::Pessimistic)
+}
+
+/// Block-based whole-design analysis: propagates arrival quantiles to
+/// every net, merging reconvergent arrivals under the chosen rule
+/// ([`MergeRule`]), and returns the worst primary-output quantiles.
+///
+/// # Panics
+///
+/// Panics if the design has no gates.
+pub fn analyze_design_with(timer: &NsigmaTimer, design: &Design, rule: MergeRule) -> QuantileSet {
+    assert!(design.netlist.num_gates() > 0, "design has no gates");
+    let order = nsigma_netlist::topo::topo_order(&design.netlist);
+    let nets = design.netlist.num_nets();
+    let mut arrival = vec![QuantileSet::default(); nets];
+    let mut slew = vec![timer.input_slew(); nets];
+
+    for g in order {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let net = gate.output;
+        let load = design.stage_effective_load(net);
+
+        // Merge fanin arrivals (elementwise max) and take the slew of
+        // the worst fanin by +3σ.
+        let mut in_arrival = QuantileSet::default();
+        let mut in_slew = timer.input_slew();
+        let mut worst = f64::NEG_INFINITY;
+        for &i in &gate.inputs {
+            let a = &arrival[i.index()];
+            in_arrival = if worst == f64::NEG_INFINITY {
+                *a
+            } else {
+                rule.merge(&in_arrival, a)
+            };
+            let key = a[SigmaLevel::PlusThree];
+            if key > worst {
+                worst = key;
+                in_slew = slew[i.index()];
+            }
+        }
+
+        let (cell_q, out_slew) = timer.stage_cell_quantiles(cell.name(), in_slew, load);
+        let (wire_q, wire_mean) = stage_wire_quantiles(timer, design, net, cell, None);
+
+        arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
+        slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
+    }
+
+    let mut worst: Option<QuantileSet> = None;
+    for &o in design.netlist.outputs() {
+        if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
+            let a = arrival[o.index()];
+            worst = Some(match worst {
+                Some(w) => rule.merge(&w, &a),
+                None => a,
+            });
+        }
+    }
+    worst.unwrap_or_default()
+}
+
+/// Early (hold-side) whole-design analysis: the *earliest* arrival at a
+/// primary output, propagating the minimum over fanins and the
+/// shortest-arrival input slew. Together with [`analyze_design`] this
+/// brackets every output's arrival window.
+///
+/// # Panics
+///
+/// Panics if the design has no gates.
+pub fn analyze_design_early(timer: &NsigmaTimer, design: &Design) -> QuantileSet {
+    assert!(design.netlist.num_gates() > 0, "design has no gates");
+    let order = nsigma_netlist::topo::topo_order(&design.netlist);
+    let nets = design.netlist.num_nets();
+    let mut arrival = vec![QuantileSet::default(); nets];
+    let mut slew = vec![timer.input_slew(); nets];
+
+    for g in order {
+        let gate = design.netlist.gate(g);
+        let cell = design.lib.cell(gate.cell);
+        let net = gate.output;
+        let load = design.stage_effective_load(net);
+
+        // Earliest fanin (elementwise min) and its slew.
+        let mut in_arrival: Option<QuantileSet> = None;
+        let mut in_slew = timer.input_slew();
+        let mut best = f64::INFINITY;
+        for &i in &gate.inputs {
+            let a = arrival[i.index()];
+            in_arrival = Some(match in_arrival {
+                Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
+                None => a,
+            });
+            let key = a[SigmaLevel::MinusThree];
+            if key < best {
+                best = key;
+                in_slew = slew[i.index()];
+            }
+        }
+        let in_arrival = in_arrival.unwrap_or_default();
+
+        let (cell_q, out_slew) = timer.stage_cell_quantiles(cell.name(), in_slew, load);
+        let (wire_q, wire_mean) = stage_wire_quantiles(timer, design, net, cell, None);
+
+        arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
+        slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
+    }
+
+    let mut earliest: Option<QuantileSet> = None;
+    for &o in design.netlist.outputs() {
+        if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
+            let a = arrival[o.index()];
+            earliest = Some(match earliest {
+                Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
+                None => a,
+            });
+        }
+    }
+    earliest.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::TimerConfig;
+    use nsigma_cells::cell::CellKind;
+    use nsigma_cells::CellLibrary;
+    use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_process::Technology;
+
+    /// A small library restricted to what the test designs use keeps the
+    /// build under a second.
+    fn small_lib() -> CellLibrary {
+        let mut lib = CellLibrary::new();
+        for kind in [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::Buf,
+        ] {
+            for s in [1, 2, 4, 8] {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        lib
+    }
+
+    fn adder_design(lib: &CellLibrary) -> Design {
+        let tech = Technology::synthetic_28nm();
+        let nl = map_to_cells(&ripple_adder(6), lib).unwrap();
+        Design::with_generated_parasitics(tech, lib.clone(), nl, 21)
+    }
+
+    fn quick_timer(lib: &CellLibrary) -> NsigmaTimer {
+        let tech = Technology::synthetic_28nm();
+        let mut cfg = TimerConfig::standard(77);
+        cfg.char_samples = 1500;
+        cfg.wire.nets = 2;
+        cfg.wire.samples = 800;
+        NsigmaTimer::build(&tech, lib, &cfg).unwrap()
+    }
+
+    #[test]
+    fn path_quantiles_match_golden_mc_within_paper_band() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let path = find_critical_path(&design).unwrap();
+
+        let model = analyze_path(&timer, &design, &path);
+        let golden = simulate_path_mc(
+            &design,
+            &path,
+            &PathMcConfig {
+                samples: 3000,
+                seed: 5,
+                input_slew: 10e-12,
+            },
+        );
+
+        for lvl in [
+            SigmaLevel::MinusThree,
+            SigmaLevel::Zero,
+            SigmaLevel::PlusThree,
+        ] {
+            let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl])
+                .abs()
+                * 100.0;
+            // Paper band: ≤ 6.6% at +3σ, up to 8.7% at −3σ (their Table
+            // III). The −3σ side is the harder one — the worst-arc max()
+            // shortens left tails per cell in a kind-dependent way the
+            // global Table I coefficients only partly capture — so it gets
+            // the wider unit-test budget (the full-budget numbers are in
+            // the table3 binary).
+            let tol = if lvl == SigmaLevel::MinusThree {
+                18.0
+            } else {
+                12.0
+            };
+            assert!(
+                rel < tol,
+                "{lvl}: model {:.1} ps vs golden {:.1} ps ({rel:.1}%)",
+                model.quantiles[lvl] * 1e12,
+                golden.quantiles[lvl] * 1e12
+            );
+        }
+        assert_eq!(model.stages.len(), path.len());
+        assert!(model.quantiles.is_monotone());
+    }
+
+    #[test]
+    fn design_analysis_bounds_path_analysis() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let (_, path_timing) = analyze_critical_path(&timer, &design).unwrap();
+        let worst = analyze_design(&timer, &design);
+        // Block-based max-merge is pessimistic: it can only exceed the
+        // single-path estimate (numerically allow a hair of slack).
+        assert!(
+            worst[SigmaLevel::PlusThree] >= path_timing.quantiles[SigmaLevel::PlusThree] * 0.999,
+            "design {:.2} ps vs path {:.2} ps",
+            worst[SigmaLevel::PlusThree] * 1e12,
+            path_timing.quantiles[SigmaLevel::PlusThree] * 1e12
+        );
+    }
+
+    #[test]
+    fn early_analysis_lower_bounds_late() {
+        let lib = small_lib();
+        let design = adder_design(&lib);
+        let timer = quick_timer(&lib);
+        let early = analyze_design_early(&timer, &design);
+        let late = analyze_design(&timer, &design);
+        assert!(early.is_monotone());
+        for lvl in SigmaLevel::ALL {
+            assert!(
+                early[lvl] <= late[lvl] + 1e-18,
+                "{lvl}: early {} vs late {}",
+                early[lvl],
+                late[lvl]
+            );
+        }
+        // On a circuit with both short and long cones, the gap is real.
+        assert!(early[SigmaLevel::Zero] < late[SigmaLevel::Zero]);
+    }
+}

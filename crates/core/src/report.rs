@@ -6,11 +6,12 @@
 //! a clock period is given) the +3σ slack — the artifact a designer
 //! actually reads.
 
-use crate::compiled::CompiledDesign;
+use crate::session::TimingSession;
 use crate::sta::{NsigmaTimer, PathTiming};
 use nsigma_mc::design::Design;
-use nsigma_netlist::topo::{Path, PathScratch};
+use nsigma_netlist::topo::Path;
 use nsigma_stats::quantile::SigmaLevel;
+use std::borrow::Borrow;
 use std::fmt::Write as _;
 
 /// Renders one analyzed path as a text report.
@@ -20,9 +21,10 @@ use std::fmt::Write as _;
 /// ```no_run
 /// # use nsigma_cells::CellLibrary;
 /// # use nsigma_core::report::report_path;
+/// # use nsigma_core::session::TimingSession;
 /// # use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+/// # use nsigma_core::stat_max::MergeRule;
 /// # use nsigma_mc::design::Design;
-/// # use nsigma_mc::path_sim::find_critical_path;
 /// # use nsigma_netlist::generators::arith::ripple_adder;
 /// # use nsigma_netlist::mapping::map_to_cells;
 /// # use nsigma_process::Technology;
@@ -32,9 +34,9 @@ use std::fmt::Write as _;
 /// # let design = Design::with_generated_parasitics(
 /// #     tech.clone(), lib.clone(), map_to_cells(&ripple_adder(4), &lib)?, 1);
 /// # let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(1))?;
-/// let path = find_critical_path(&design).expect("path");
-/// let timing = timer.analyze_path(&design, &path);
-/// println!("{}", report_path(&design, &path, &timing, Some(2e-9)));
+/// let session = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
+/// let (path, timing) = session.critical_path().expect("path");
+/// println!("{}", report_path(session.design(), &path, &timing, Some(2e-9)));
 /// # Ok(())
 /// # }
 /// ```
@@ -112,38 +114,26 @@ pub fn report_path(
     out
 }
 
-/// Analyzes and reports the `k` worst paths of a design (worst first), as
-/// `report_timing -nworst k` would.
+/// Analyzes and reports the `k` worst paths of a session's design (worst
+/// first), as `report_timing -nworst k` would.
 ///
-/// Paths are ranked by their nominal stage weights, then each is analyzed
-/// with the full N-sigma model.
-pub fn report_worst_paths(
-    timer: &NsigmaTimer,
-    design: &Design,
+/// Paths are ranked by the session's precompiled nominal stage weights,
+/// then each is analyzed with the full N-sigma model. The session's
+/// scratch pool makes repeated reports allocation-free in steady state.
+pub fn report_worst_paths<B: Borrow<NsigmaTimer>>(
+    session: &TimingSession<B>,
     k: usize,
     clock_period: Option<f64>,
 ) -> String {
-    let compiled = CompiledDesign::compile(timer, design.clone());
-    report_worst_paths_compiled(timer, &compiled, k, clock_period, &mut PathScratch::new())
-}
-
-/// [`report_worst_paths`] over an already-compiled design: the path
-/// ranking reuses the compiled nominal stage weights and `scratch`, so a
-/// caller that keeps the [`CompiledDesign`] around (the server, the CLI
-/// analyze flow) pays no per-report recompilation.
-pub fn report_worst_paths_compiled(
-    timer: &NsigmaTimer,
-    compiled: &CompiledDesign,
-    k: usize,
-    clock_period: Option<f64>,
-    scratch: &mut PathScratch,
-) -> String {
-    let design = compiled.design();
-    let paths = compiled.ranked_paths(k, scratch);
+    let design = session.design();
+    let paths = session.worst_paths(k);
 
     let mut out = String::new();
     for (i, path) in paths.iter().enumerate() {
-        let timing = compiled.analyze_path(timer, path);
+        // Ranked paths come from this design, so analysis cannot fail.
+        let Ok(timing) = session.analyze_path(path) else {
+            continue;
+        };
         writeln!(
             out,
             "==== path {} of {} ({} stages) ====",
@@ -192,11 +182,16 @@ mod tests {
         (timer, design)
     }
 
+    fn session(timer: &NsigmaTimer, design: Design) -> TimingSession<&NsigmaTimer> {
+        TimingSession::new(timer, design, crate::stat_max::MergeRule::Pessimistic).unwrap()
+    }
+
     #[test]
     fn single_path_report_is_complete() {
         let (timer, design) = setup();
         let path = find_critical_path(&design).unwrap();
-        let timing = timer.analyze_path(&design, &path);
+        let s = session(&timer, design.clone());
+        let timing = s.analyze_path(&path).unwrap();
         let report = report_path(&design, &path, &timing, Some(5e-9));
         assert!(report.contains("Startpoint:"));
         assert!(report.contains("Endpoint:"));
@@ -217,7 +212,8 @@ mod tests {
     fn violated_clock_is_flagged() {
         let (timer, design) = setup();
         let path = find_critical_path(&design).unwrap();
-        let timing = timer.analyze_path(&design, &path);
+        let s = session(&timer, design.clone());
+        let timing = s.analyze_path(&path).unwrap();
         let report = report_path(&design, &path, &timing, Some(1e-12));
         assert!(report.contains("VIOLATED"));
     }
@@ -225,7 +221,8 @@ mod tests {
     #[test]
     fn worst_paths_report_covers_k_paths() {
         let (timer, design) = setup();
-        let report = report_worst_paths(&timer, &design, 3, None);
+        let s = session(&timer, design);
+        let report = report_worst_paths(&s, 3, None);
         assert_eq!(report.matches("==== path").count(), 3);
         assert!(report.matches("Startpoint:").count() == 3);
     }

@@ -21,6 +21,9 @@ use std::fmt::Write as _;
 /// # Panics
 ///
 /// Panics if the design references cells the timer was not built for.
+/// Production callers export through
+/// [`TimingSession::sdf`](crate::session::TimingSession::sdf), which
+/// validated every cell at session build and so cannot hit this.
 ///
 /// # Examples
 ///

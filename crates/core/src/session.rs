@@ -1,0 +1,685 @@
+//! The session-oriented query layer: one engine, one handle.
+//!
+//! A [`TimingSession`] is built once from a timer and a design. It owns the
+//! [`CompiledDesign`], a pool of [`QueryScratch`] arenas, and the
+//! incremental arrival state, and it exposes the *entire* query surface —
+//! whole-design analysis (late and early), path analysis, ranked worst
+//! paths, ECO resizes with cone-limited recomputation, and SDF export —
+//! with typed [`QueryError`] results instead of query-time panics.
+//!
+//! Read queries take `&self`: scratch buffers come from an internal pool,
+//! so many threads can query one session concurrently (the server keeps a
+//! session per registered design behind an `RwLock` and serves reads in
+//! parallel). Resizes take `&mut self` and recompute only the affected
+//! timing cone, exactly as the retired `IncrementalTimer` did.
+//!
+//! The legacy string-keyed implementation survives only as
+//! [`crate::reference`], the oracle of the differential-equivalence suite;
+//! every production caller routes through this module.
+
+use crate::compiled::{CompiledDesign, QueryScratch};
+use crate::sta::{CacheStats, NsigmaTimer, PathTiming};
+use crate::stat_max::MergeRule;
+use nsigma_mc::design::Design;
+use nsigma_netlist::ir::{GateId, NetDriver, NetId};
+use nsigma_netlist::topo::Path;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use std::borrow::Borrow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Tolerance below which an arrival/slew change does not propagate during
+/// cone-limited recomputation.
+const EPS: f64 = 1e-18;
+
+/// A typed query failure. Every fallible session operation returns one of
+/// these instead of panicking, and [`QueryError::code`] gives the stable
+/// wire code the server protocol reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The design uses a cell the timer has no calibration for.
+    UnknownCell {
+        /// Library cell name without a calibration.
+        cell: String,
+    },
+    /// The design has no gates, so there is nothing to analyze.
+    EmptyDesign,
+    /// A gate named in the query does not exist in the design.
+    UnknownGate {
+        /// The gate instance name (or index) that failed to resolve.
+        gate: String,
+    },
+    /// The library has no cell of the requested kind and strength.
+    UnknownStrength {
+        /// Cell-kind prefix (e.g. `NAND2`).
+        kind: String,
+        /// Requested drive strength.
+        strength: u32,
+    },
+    /// A ranked-path query asked for a rank beyond the available paths.
+    NoSuchPath {
+        /// Zero-based rank that was requested.
+        rank: usize,
+        /// How many paths the design actually has.
+        available: usize,
+    },
+}
+
+impl QueryError {
+    /// The stable protocol error code the server reports for this error
+    /// (`crates/server` maps typed query failures straight onto these).
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::UnknownCell { .. } => "unknown_cell",
+            QueryError::EmptyDesign => "bad_request",
+            QueryError::UnknownGate { .. } => "not_found",
+            QueryError::UnknownStrength { .. } => "bad_request",
+            QueryError::NoSuchPath { .. } => "not_found",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownCell { cell } => {
+                write!(f, "timer has no calibration for {cell}")
+            }
+            QueryError::EmptyDesign => write!(f, "design has no gates"),
+            QueryError::UnknownGate { gate } => write!(f, "no gate named {gate}"),
+            QueryError::UnknownStrength { kind, strength } => {
+                write!(f, "library has no {kind}x{strength}")
+            }
+            QueryError::NoSuchPath { rank, available } => {
+                write!(f, "no path of rank {rank} (design has {available})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A design bound to a timer for querying: the single production engine.
+///
+/// Generic over how the timer is held: borrow it for a scoped analysis
+/// (`TimingSession::new(&timer, ...)`), or hand in an `Arc<NsigmaTimer>`
+/// so a long-lived owner (the query daemon) can keep many sessions over
+/// one shared timer without a lifetime tie.
+pub struct TimingSession<B: Borrow<NsigmaTimer> = Arc<NsigmaTimer>> {
+    timer: B,
+    compiled: CompiledDesign,
+    rule: MergeRule,
+    /// Persistent per-net arrival quantiles under `rule` (the incremental
+    /// state resizes update cone-locally).
+    arrival: Vec<QuantileSet>,
+    slew: Vec<f64>,
+    /// Persistent per-gate seed flags for [`TimingSession::recompute`];
+    /// always all-false between calls.
+    seed_gate: Vec<bool>,
+    /// Persistent per-net dirty flags; always all-false between calls.
+    dirty_net: Vec<bool>,
+    /// Gates recomputed by the last resize.
+    last_recompute: usize,
+    /// Pool of scratch arenas for `&self` queries; one per concurrently
+    /// querying thread, grown on demand and reused afterwards.
+    scratch: Mutex<Vec<QueryScratch>>,
+    /// Stage-cache lookups this session answered from the shared cache.
+    cache_hits: AtomicU64,
+    /// Stage-cache lookups this session had to evaluate.
+    cache_misses: AtomicU64,
+}
+
+impl<B: Borrow<NsigmaTimer>> TimingSession<B> {
+    /// Builds a session: validates that every cell the design uses is
+    /// calibrated, compiles the design, and runs the initial full
+    /// analysis under `rule`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::EmptyDesign`] for a gateless design and
+    /// [`QueryError::UnknownCell`] when a cell has no calibration.
+    pub fn new(timer: B, design: Design, rule: MergeRule) -> Result<Self, QueryError> {
+        if design.netlist.num_gates() == 0 {
+            return Err(QueryError::EmptyDesign);
+        }
+        let nets = design.netlist.num_nets();
+        let gates = design.netlist.num_gates();
+        let input_slew = timer.borrow().input_slew();
+        let compiled = CompiledDesign::compile(timer.borrow(), design)?;
+        let mut this = Self {
+            timer,
+            compiled,
+            rule,
+            arrival: vec![QuantileSet::default(); nets],
+            slew: vec![input_slew; nets],
+            seed_gate: vec![false; gates],
+            dirty_net: vec![false; nets],
+            last_recompute: 0,
+            scratch: Mutex::new(Vec::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        };
+        this.recompute(true);
+        Ok(this)
+    }
+
+    /// The shared timer.
+    pub fn timer(&self) -> &NsigmaTimer {
+        self.timer.borrow()
+    }
+
+    /// The analyzed design (read-only).
+    pub fn design(&self) -> &Design {
+        self.compiled.design()
+    }
+
+    /// The compiled timing graph the session runs over.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.compiled
+    }
+
+    /// The merge rule the session was built with.
+    pub fn rule(&self) -> MergeRule {
+        self.rule
+    }
+
+    /// Runs `f` with a scratch arena from the pool, folding the arena's
+    /// stage-cache counters into the session totals afterwards.
+    fn with_scratch<T>(&self, f: impl FnOnce(&mut QueryScratch) -> T) -> T {
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut scratch);
+        let (hits, misses) = scratch.take_cache_counters();
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(scratch);
+        out
+    }
+
+    /// Block-based whole-design analysis under the session's merge rule:
+    /// the worst primary-output arrival quantiles.
+    pub fn analyze_design(&self) -> QuantileSet {
+        self.analyze_design_with(self.rule)
+    }
+
+    /// Block-based whole-design analysis under an explicit merge rule.
+    pub fn analyze_design_with(&self, rule: MergeRule) -> QuantileSet {
+        self.with_scratch(|s| {
+            self.compiled
+                .analyze_design_with(self.timer.borrow(), rule, s)
+        })
+    }
+
+    /// Early (hold-side) whole-design analysis: the earliest primary-output
+    /// arrival quantiles.
+    pub fn analyze_design_early(&self) -> QuantileSet {
+        self.with_scratch(|s| self.compiled.analyze_design_early(self.timer.borrow(), s))
+    }
+
+    /// Analyzes one path (eq. 10): per-stage cell and wire quantiles summed
+    /// with mean-slew propagation.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownGate`] if the path references a gate outside
+    /// this design.
+    pub fn analyze_path(&self, path: &Path) -> Result<PathTiming, QueryError> {
+        let gates = self.design().netlist.num_gates();
+        for &g in &path.gates {
+            if g.index() >= gates {
+                return Err(QueryError::UnknownGate {
+                    gate: format!("#{}", g.index()),
+                });
+            }
+        }
+        Ok(self.with_scratch(|s| self.compiled.analyze_path(self.timer.borrow(), path, s)))
+    }
+
+    /// The `k` worst paths by nominal stage weights, worst first.
+    pub fn worst_paths(&self, k: usize) -> Vec<Path> {
+        self.with_scratch(|s| self.compiled.ranked_paths(k, &mut s.paths))
+    }
+
+    /// The path of the given zero-based `rank` (0 = worst) together with
+    /// its N-sigma analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::NoSuchPath`] when the design has `rank` or fewer
+    /// paths.
+    pub fn path_by_rank(&self, rank: usize) -> Result<(Path, PathTiming), QueryError> {
+        let mut paths = self.worst_paths(rank + 1);
+        if paths.len() <= rank {
+            return Err(QueryError::NoSuchPath {
+                rank,
+                available: paths.len(),
+            });
+        }
+        let path = paths.swap_remove(rank);
+        let timing = self.analyze_path(&path)?;
+        Ok((path, timing))
+    }
+
+    /// Analyzes the nominal critical path: finds it, then applies
+    /// [`TimingSession::analyze_path`]. `None` for a pathless design.
+    pub fn critical_path(&self) -> Option<(Path, PathTiming)> {
+        let path = nsigma_mc::path_sim::find_critical_path(self.design())?;
+        let timing = self.analyze_path(&path).ok()?;
+        Some((path, timing))
+    }
+
+    /// Resolves a gate instance name to its id.
+    pub fn find_gate(&self, name: &str) -> Option<GateId> {
+        let netlist = &self.design().netlist;
+        netlist.gate_ids().find(|&g| netlist.gate(g).name == name)
+    }
+
+    /// Worst primary-output arrival under the session rule, from the
+    /// incremental state (kept current across resizes).
+    pub fn worst_output(&self) -> QuantileSet {
+        let design = self.compiled.design();
+        let mut worst: Option<QuantileSet> = None;
+        for &o in design.netlist.outputs() {
+            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
+                let a = self.arrival[o.index()];
+                worst = Some(match worst {
+                    Some(w) => self.rule.merge(&w, &a),
+                    None => a,
+                });
+            }
+        }
+        worst.unwrap_or_default()
+    }
+
+    /// Arrival quantiles at a net, from the incremental state.
+    pub fn arrival(&self, net: NetId) -> &QuantileSet {
+        &self.arrival[net.index()]
+    }
+
+    /// Gates recomputed by the most recent resize (diagnostics).
+    pub fn last_recompute_count(&self) -> usize {
+        self.last_recompute
+    }
+
+    /// Stage-cache traffic attributable to this session alone (the cache
+    /// itself is shared timer-wide; `entries` is therefore reported as
+    /// zero here — read global occupancy from
+    /// [`NsigmaTimer::cache_stats`]).
+    pub fn cache_counters(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            entries: 0,
+        }
+    }
+
+    /// SDF export of the whole design as analyzed by the timer. Infallible
+    /// here: the session validated every cell at build time.
+    pub fn sdf(&self) -> String {
+        crate::sdf::write_sdf(self.timer.borrow(), self.design())
+    }
+
+    /// Resizes a gate to a different strength of the same kind and updates
+    /// the affected timing cone. Returns the new worst primary-output
+    /// quantiles.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStrength`] when the library lacks the strength
+    /// and [`QueryError::UnknownCell`] when the timer has no calibration
+    /// for the replacement cell.
+    pub fn resize_gate(&mut self, gate: GateId, strength: u32) -> Result<QuantileSet, QueryError> {
+        let design = self.compiled.design();
+        if gate.index() >= design.netlist.num_gates() {
+            return Err(QueryError::UnknownGate {
+                gate: format!("#{}", gate.index()),
+            });
+        }
+        let kind = {
+            let g = design.netlist.gate(gate);
+            design.lib.cell(g.cell).kind()
+        };
+        let cell =
+            design
+                .lib
+                .find_kind(kind, strength)
+                .ok_or_else(|| QueryError::UnknownStrength {
+                    kind: kind.prefix().to_string(),
+                    strength,
+                })?;
+        self.resize_gate_cell(gate, cell)
+    }
+
+    /// Resizes a gate to an explicit library cell and updates the affected
+    /// timing cone. Returns the new worst primary-output quantiles.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownCell`] when the timer has no calibration for
+    /// the replacement cell.
+    pub fn resize_gate_cell(
+        &mut self,
+        gate: GateId,
+        cell: nsigma_cells::CellId,
+    ) -> Result<QuantileSet, QueryError> {
+        self.compiled
+            .resize_gate_cell(self.timer.borrow(), gate, cell)?;
+
+        // Seeds: the resized gate plus the drivers of its fanin nets (their
+        // output load changed through the new pin capacitance).
+        self.seed_gate[gate.index()] = true;
+        let design = self.compiled.design();
+        for &net in self.compiled.csr().fanins(gate.index()) {
+            if let NetDriver::Gate(driver) =
+                design.netlist.net(NetId::from_index(net as usize)).driver
+            {
+                self.seed_gate[driver.index()] = true;
+            }
+        }
+        self.recompute(false);
+        Ok(self.worst_output())
+    }
+
+    /// Walks the topo order, recomputing any gate that is a seed or whose
+    /// fanin nets are dirty; marks outputs dirty when their timing moves.
+    /// The seed/dirty flags are persistent vectors cleared on exit, so a
+    /// resize allocates nothing. Counts the recomputed gates.
+    fn recompute(&mut self, full: bool) -> usize {
+        let mut count = 0;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for idx in 0..self.compiled.order().len() {
+            let g = self.compiled.order()[idx];
+            let gi = g.index();
+            let needs = full
+                || self.seed_gate[gi]
+                || self
+                    .compiled
+                    .csr()
+                    .fanins(gi)
+                    .iter()
+                    .any(|&i| self.dirty_net[i as usize]);
+            if !needs {
+                continue;
+            }
+            count += 1;
+            let (net, new_arrival, new_slew, hit) = self.evaluate_gate(g);
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            let changed = (new_arrival[SigmaLevel::PlusThree]
+                - self.arrival[net.index()][SigmaLevel::PlusThree])
+                .abs()
+                > EPS
+                || (new_slew - self.slew[net.index()]).abs() > EPS;
+            self.arrival[net.index()] = new_arrival;
+            self.slew[net.index()] = new_slew;
+            if changed || full || self.seed_gate[gi] {
+                self.dirty_net[net.index()] = true;
+            }
+        }
+        // Restore the all-false invariant for the next edit.
+        self.seed_gate.iter_mut().for_each(|f| *f = false);
+        self.dirty_net.iter_mut().for_each(|f| *f = false);
+        self.last_recompute = count;
+        *self.cache_hits.get_mut() += hits;
+        *self.cache_misses.get_mut() += misses;
+        count
+    }
+
+    /// One gate's block-based update (same math as `analyze_design_with`),
+    /// read entirely from the compiled arrays. The final flag reports
+    /// whether the stage lookup hit the shared cache.
+    fn evaluate_gate(&self, g: GateId) -> (NetId, QuantileSet, f64, bool) {
+        let timer = self.timer.borrow();
+        let gi = g.index();
+        let net = NetId::from_index(self.compiled.csr().gate_output[gi] as usize);
+        let load = self.compiled.net_load(net);
+
+        let mut in_arrival = QuantileSet::default();
+        let mut in_slew = timer.input_slew();
+        let mut worst = f64::NEG_INFINITY;
+        let mut first = true;
+        for &i in self.compiled.csr().fanins(gi) {
+            let a = &self.arrival[i as usize];
+            in_arrival = if first {
+                first = false;
+                *a
+            } else {
+                self.rule.merge(&in_arrival, a)
+            };
+            let key = a[SigmaLevel::PlusThree];
+            if key > worst {
+                worst = key;
+                in_slew = self.slew[i as usize];
+            }
+        }
+
+        let (cell_q, out_slew, hit) =
+            timer.stage_cell_quantiles_probe(self.compiled.gate_cal(g), in_slew, load);
+
+        // Wire quantiles toward the worst sink (consistent with the
+        // block-based convention of `analyze_design_with`), precomputed at
+        // compile/resize time.
+        let (wire_q, wire_mean) = self.compiled.worst_sink_wire(net);
+
+        let arrival = in_arrival.add(&cell_q).add(&wire_q);
+        let slew = (out_slew + 2.0 * wire_mean).max(0.0);
+        (net, arrival, slew, hit)
+    }
+}
+
+impl<B: Borrow<NsigmaTimer>> std::fmt::Debug for TimingSession<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingSession")
+            .field("gates", &self.compiled.order().len())
+            .field("rule", &self.rule)
+            .field("last_recompute", &self.last_recompute)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::sta::TimerConfig;
+    use nsigma_cells::cell::{Cell, CellKind};
+    use nsigma_cells::CellLibrary;
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::mapping::map_to_cells;
+    use nsigma_process::Technology;
+
+    fn setup() -> (NsigmaTimer, Design) {
+        let tech = Technology::synthetic_28nm();
+        let mut lib = CellLibrary::new();
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+        ] {
+            for s in [1, 2, 4, 8] {
+                lib.add(Cell::new(kind, s));
+            }
+        }
+        let netlist = map_to_cells(&ripple_adder(8), &lib).unwrap();
+        let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 9);
+        let mut cfg = TimerConfig::standard(13);
+        cfg.char_samples = 800;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 400;
+        let timer = NsigmaTimer::build(&tech, &lib, &cfg).unwrap();
+        (timer, design)
+    }
+
+    #[test]
+    fn initial_analysis_matches_batch() {
+        let (timer, design) = setup();
+        let batch = reference::analyze_design(&timer, &design);
+        let session = TimingSession::new(&timer, design, MergeRule::Pessimistic).unwrap();
+        let worst = session.worst_output();
+        for lvl in SigmaLevel::ALL {
+            assert!(
+                (worst[lvl] - batch[lvl]).abs() < 1e-15,
+                "{lvl}: {} vs {}",
+                worst[lvl],
+                batch[lvl]
+            );
+        }
+    }
+
+    #[test]
+    fn resize_matches_fresh_analysis_and_touches_a_subset() {
+        let (timer, design) = setup();
+        let total_gates = design.netlist.num_gates();
+        let mut session =
+            TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).unwrap();
+
+        // Upsize a gate in the middle of the carry chain.
+        let victim = nsigma_netlist::topo::topo_order(&design.netlist)[total_gates / 2];
+        let after = session.resize_gate(victim, 8).unwrap();
+
+        // Fresh analysis on an identically-edited design agrees exactly.
+        let mut fresh = design;
+        let cell = fresh
+            .lib
+            .find_kind(fresh.lib.cell(fresh.netlist.gate(victim).cell).kind(), 8)
+            .unwrap();
+        fresh.replace_gate_cell(victim, cell);
+        let batch = reference::analyze_design(&timer, &fresh);
+        for lvl in SigmaLevel::ALL {
+            assert!(
+                (after[lvl] - batch[lvl]).abs() < 1e-15,
+                "{lvl}: incremental {} vs fresh {}",
+                after[lvl],
+                batch[lvl]
+            );
+        }
+        // And the recompute stayed local.
+        assert!(
+            session.last_recompute_count() < total_gates,
+            "recomputed {}/{} gates",
+            session.last_recompute_count(),
+            total_gates
+        );
+        assert!(session.last_recompute_count() >= 1);
+    }
+
+    #[test]
+    fn upsizing_the_endpoint_driver_changes_timing() {
+        let (timer, design) = setup();
+        let last = *nsigma_netlist::topo::topo_order(&design.netlist)
+            .last()
+            .unwrap();
+        let mut session = TimingSession::new(&timer, design, MergeRule::Pessimistic).unwrap();
+        let before = session.worst_output();
+        let after = session.resize_gate(last, 8).unwrap();
+        assert!(
+            (after[SigmaLevel::PlusThree] - before[SigmaLevel::PlusThree]).abs() > 0.0,
+            "resizing the endpoint driver must move the worst arrival"
+        );
+    }
+
+    #[test]
+    fn repeated_resizes_stay_consistent() {
+        let (timer, design) = setup();
+        let order = nsigma_netlist::topo::topo_order(&design.netlist);
+        let mut session =
+            TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).unwrap();
+        let mut edited = design;
+        for (k, &g) in order.iter().step_by(7).enumerate() {
+            let s = [2u32, 4, 8][k % 3];
+            session.resize_gate(g, s).unwrap();
+            let kind = edited.lib.cell(edited.netlist.gate(g).cell).kind();
+            let cell = edited.lib.find_kind(kind, s).unwrap();
+            edited.replace_gate_cell(g, cell);
+        }
+        let batch = reference::analyze_design(&timer, &edited);
+        let worst = session.worst_output();
+        assert!(
+            (worst[SigmaLevel::PlusThree] - batch[SigmaLevel::PlusThree]).abs() < 1e-15,
+            "incremental {} vs fresh {} after a resize sequence",
+            worst[SigmaLevel::PlusThree],
+            batch[SigmaLevel::PlusThree]
+        );
+    }
+
+    #[test]
+    fn typed_errors_replace_panics() {
+        let (timer, design) = setup();
+        let mut session =
+            TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).unwrap();
+
+        let gate = GateId::from_index(0);
+        let err = session.resize_gate(gate, 999).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::UnknownStrength { strength: 999, .. }
+        ));
+        assert_eq!(err.code(), "bad_request");
+
+        let bogus = GateId::from_index(design.netlist.num_gates() + 7);
+        let err = session.resize_gate(bogus, 2).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownGate { .. }));
+        assert_eq!(err.code(), "not_found");
+
+        let err = session.path_by_rank(usize::MAX - 1).unwrap_err();
+        assert!(matches!(err, QueryError::NoSuchPath { .. }));
+
+        // A design over a cell the timer never saw fails at build time.
+        let mut big_lib = CellLibrary::new();
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::Nor2,
+        ] {
+            for s in [1, 2, 4, 8] {
+                big_lib.add(Cell::new(kind, s));
+            }
+        }
+        let tech = Technology::synthetic_28nm();
+        let nl = map_to_cells(&ripple_adder(2), &big_lib).unwrap();
+        let foreign = Design::with_generated_parasitics(tech, big_lib, nl, 3);
+        match TimingSession::new(&timer, foreign, MergeRule::Pessimistic) {
+            Ok(_) => {} // mapping may avoid the uncalibrated kind entirely
+            Err(e) => assert_eq!(e.code(), "unknown_cell"),
+        }
+    }
+
+    #[test]
+    fn session_queries_match_reference_and_count_cache_traffic() {
+        let (timer, design) = setup();
+        let session = TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).unwrap();
+
+        let late = session.analyze_design();
+        let reference_late = reference::analyze_design(&timer, &design);
+        assert_eq!(late.as_array(), reference_late.as_array());
+
+        let early = session.analyze_design_early();
+        let reference_early = reference::analyze_design_early(&timer, &design);
+        assert_eq!(early.as_array(), reference_early.as_array());
+
+        let (path, timing) = session.critical_path().unwrap();
+        let reference_timing = reference::analyze_path(&timer, &design, &path);
+        assert_eq!(timing, reference_timing);
+
+        let counters = session.cache_counters();
+        let gates = design.netlist.num_gates() as u64;
+        // Build pass + late + early + path stages, each one lookup/gate
+        // (the path is shorter than the whole design).
+        assert!(counters.hits + counters.misses >= 3 * gates);
+        assert!(counters.hits > 0, "steady-state session queries must hit");
+    }
+}

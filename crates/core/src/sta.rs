@@ -1,5 +1,6 @@
-//! The N-sigma statistical timer: the paper's full flow (Fig. 1 / Fig. 5 /
-//! eq. 10) from library characterization to path and design analysis.
+//! The N-sigma statistical timer: the paper's characterization flow
+//! (Fig. 1 / Fig. 5) and the calibrated per-stage model every query
+//! engine reads.
 //!
 //! Building a [`NsigmaTimer`] runs the characterization flow once per
 //! library cell (moments over the slew×load grid → [`MomentCalibration`]),
@@ -7,6 +8,11 @@
 //! calibrates the wire variability model. Analysis then needs *no* Monte
 //! Carlo: each stage is two table lookups and a handful of multiplies,
 //! which is where the paper's ~100× speedup over SPICE MC comes from.
+//!
+//! The timer itself exposes no design queries: analysis goes through
+//! [`crate::session::TimingSession`] (production) or [`crate::reference`]
+//! (the differential-test oracle). This module owns the calibrated model,
+//! the interned cell-id table, and the sharded stage-quantile cache.
 
 use crate::calibration::{MomentCalibration, C_REF, S_REF};
 use crate::cell_model::CellQuantileModel;
@@ -14,8 +20,6 @@ use crate::wire_model::{WireCalibConfig, WireVariabilityModel};
 use nsigma_cells::characterize::{characterize_cell_threads, CharacterizeConfig, MomentGrid};
 use nsigma_cells::{Cell, CellKind, CellLibrary};
 use nsigma_mc::design::Design;
-use nsigma_netlist::ir::{NetDriver, NetId};
-use nsigma_netlist::topo::Path;
 use nsigma_process::Technology;
 use nsigma_stats::quantile::QuantileSet;
 use nsigma_stats::regression::FitError;
@@ -344,11 +348,34 @@ impl NsigmaTimer {
     ///
     /// Panics if `id` was not produced by this timer's `cell_id`.
     pub fn stage_cell_quantiles_id(&self, id: u32, slew: f64, load: f64) -> (QuantileSet, f64) {
+        let (q, s, _) = self.stage_cell_quantiles_probe(id, slew, load);
+        (q, s)
+    }
+
+    /// [`NsigmaTimer::stage_cell_quantiles_id`] plus a hit flag: `true`
+    /// when the lookup was answered from the shared stage cache, `false`
+    /// when the model had to be evaluated. Sessions use the flag to
+    /// attribute cache traffic per design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this timer's `cell_id`.
+    pub fn stage_cell_quantiles_probe(
+        &self,
+        id: u32,
+        slew: f64,
+        load: f64,
+    ) -> (QuantileSet, f64, bool) {
         let key: StageKey = (id, slew.to_bits(), load.to_bits());
         let shard = &self.stage_cache[shard_index(&key)];
-        if let Some(&cached) = shard.map.read().expect("stage cache poisoned").get(&key) {
+        if let Some(&cached) = shard
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             shard.hits.fetch_add(1, Ordering::Relaxed);
-            return cached;
+            return (cached.0, cached.1, true);
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         let cal = &self.cal_table[id as usize];
@@ -360,9 +387,9 @@ impl NsigmaTimer {
         shard
             .map
             .write()
-            .expect("stage cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, value);
-        value
+        (value.0, value.1, false)
     }
 
     /// Cache counters since construction (the cache survives for the
@@ -376,6 +403,11 @@ impl NsigmaTimer {
             stats.entries += shard.map.read().expect("stage cache poisoned").len() as u64;
         }
         stats
+    }
+
+    /// The process technology the timer was characterized for.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
     }
 
     /// The fitted Table I model.
@@ -401,236 +433,6 @@ impl NsigmaTimer {
     /// Replaces the wire model (ablation hook).
     pub fn set_wire_model(&mut self, model: WireVariabilityModel) {
         self.wire_model = model;
-    }
-
-    /// Analyzes one path: the paper's eq. (10), summing cell and wire
-    /// sigma-level quantiles stage by stage with mean-slew propagation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the path references a cell the timer was not built for.
-    pub fn analyze_path(&self, design: &Design, path: &Path) -> PathTiming {
-        let mut total = QuantileSet::default();
-        let mut stages = Vec::with_capacity(path.len());
-        let mut slew = self.input_slew;
-
-        for (k, &g) in path.gates.iter().enumerate() {
-            let gate = design.netlist.gate(g);
-            let cell = design.lib.cell(gate.cell);
-            let net = gate.output;
-            let load = design.stage_effective_load(net);
-
-            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), slew, load);
-
-            let (wire_q, wire_mean) =
-                self.stage_wire_quantiles(design, net, cell, path.gates.get(k + 1).copied());
-
-            total = total.add(&cell_q).add(&wire_q);
-            stages.push(StageTiming {
-                gate: gate.name.clone(),
-                cell: cell.name().to_string(),
-                input_slew: slew,
-                load,
-                cell_quantiles: cell_q,
-                wire_quantiles: wire_q,
-            });
-            slew = (out_slew + 2.0 * wire_mean).max(0.0);
-        }
-        PathTiming {
-            quantiles: total,
-            stages,
-        }
-    }
-
-    /// The N-sigma wire quantiles of a stage's output net toward the next
-    /// path gate (or its first sink). Returns the zero set for unloaded
-    /// nets. Also returns the mean wire delay for slew propagation.
-    fn stage_wire_quantiles(
-        &self,
-        design: &Design,
-        net: NetId,
-        driver: &Cell,
-        next_gate: Option<nsigma_netlist::ir::GateId>,
-    ) -> (QuantileSet, f64) {
-        let Some(tree) = design.parasitic(net) else {
-            return (QuantileSet::default(), 0.0);
-        };
-        if tree.sinks().is_empty() {
-            return (QuantileSet::default(), 0.0);
-        }
-        let loads = design.load_cells(net);
-        let bases = crate::wire_model::nominal_wire_means(&self.tech, tree, &loads, driver);
-        // The sink feeding the next path gate, or — in block-based mode
-        // (no specific successor) — the worst sink of the net.
-        let pos = next_gate
-            .and_then(|next| {
-                design
-                    .netlist
-                    .net(net)
-                    .loads
-                    .iter()
-                    .position(|&(lg, _)| lg == next)
-            })
-            .unwrap_or_else(|| {
-                bases
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            });
-        let base = bases[pos];
-        let load_cell = loads[pos];
-        let q = self.wire_model.wire_quantiles(base, driver, load_cell);
-        let mean = self.wire_model.predict_mean(base, driver, load_cell);
-        (q, mean)
-    }
-
-    /// Analyzes the nominal critical path of a design: finds it, then
-    /// applies [`NsigmaTimer::analyze_path`].
-    ///
-    /// Returns `None` for an empty design.
-    pub fn analyze_critical_path(&self, design: &Design) -> Option<(Path, PathTiming)> {
-        let path = nsigma_mc::path_sim::find_critical_path(design)?;
-        let timing = self.analyze_path(design, &path);
-        Some((path, timing))
-    }
-
-    /// Block-based whole-design analysis with the default pessimistic
-    /// (elementwise-max) merge. See [`NsigmaTimer::analyze_design_with`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the design has no gates.
-    pub fn analyze_design(&self, design: &Design) -> QuantileSet {
-        self.analyze_design_with(design, crate::stat_max::MergeRule::Pessimistic)
-    }
-
-    /// Block-based whole-design analysis: propagates arrival quantiles to
-    /// every net, merging reconvergent arrivals under the chosen rule
-    /// ([`crate::stat_max::MergeRule`]), and returns the worst
-    /// primary-output quantiles.
-    ///
-    /// This visits every cell and net once — the paper's observation that
-    /// its runtime is proportional to the number of cells.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the design has no gates.
-    pub fn analyze_design_with(
-        &self,
-        design: &Design,
-        rule: crate::stat_max::MergeRule,
-    ) -> QuantileSet {
-        assert!(design.netlist.num_gates() > 0, "design has no gates");
-        let order = nsigma_netlist::topo::topo_order(&design.netlist);
-        let nets = design.netlist.num_nets();
-        let mut arrival = vec![QuantileSet::default(); nets];
-        let mut slew = vec![self.input_slew; nets];
-
-        for g in order {
-            let gate = design.netlist.gate(g);
-            let cell = design.lib.cell(gate.cell);
-            let net = gate.output;
-            let load = design.stage_effective_load(net);
-
-            // Merge fanin arrivals (elementwise max) and take the slew of
-            // the worst fanin by +3σ.
-            let mut in_arrival = QuantileSet::default();
-            let mut in_slew = self.input_slew;
-            let mut worst = f64::NEG_INFINITY;
-            for &i in &gate.inputs {
-                let a = &arrival[i.index()];
-                in_arrival = if worst == f64::NEG_INFINITY {
-                    *a
-                } else {
-                    rule.merge(&in_arrival, a)
-                };
-                let key = a[nsigma_stats::quantile::SigmaLevel::PlusThree];
-                if key > worst {
-                    worst = key;
-                    in_slew = slew[i.index()];
-                }
-            }
-
-            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), in_slew, load);
-            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
-
-            arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
-            slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
-        }
-
-        let mut worst: Option<QuantileSet> = None;
-        for &o in design.netlist.outputs() {
-            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
-                let a = arrival[o.index()];
-                worst = Some(match worst {
-                    Some(w) => rule.merge(&w, &a),
-                    None => a,
-                });
-            }
-        }
-        worst.unwrap_or_default()
-    }
-
-    /// Early (hold-side) whole-design analysis: the *earliest* arrival at a
-    /// primary output, propagating the minimum over fanins and the
-    /// shortest-arrival input slew. Together with
-    /// [`NsigmaTimer::analyze_design`] this brackets every output's arrival
-    /// window — the pair a hold/setup sign-off consumes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the design has no gates.
-    pub fn analyze_design_early(&self, design: &Design) -> QuantileSet {
-        assert!(design.netlist.num_gates() > 0, "design has no gates");
-        let order = nsigma_netlist::topo::topo_order(&design.netlist);
-        let nets = design.netlist.num_nets();
-        let mut arrival = vec![QuantileSet::default(); nets];
-        let mut slew = vec![self.input_slew; nets];
-
-        for g in order {
-            let gate = design.netlist.gate(g);
-            let cell = design.lib.cell(gate.cell);
-            let net = gate.output;
-            let load = design.stage_effective_load(net);
-
-            // Earliest fanin (elementwise min) and its slew.
-            let mut in_arrival: Option<QuantileSet> = None;
-            let mut in_slew = self.input_slew;
-            let mut best = f64::INFINITY;
-            for &i in &gate.inputs {
-                let a = arrival[i.index()];
-                in_arrival = Some(match in_arrival {
-                    Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
-                    None => a,
-                });
-                let key = a[nsigma_stats::quantile::SigmaLevel::MinusThree];
-                if key < best {
-                    best = key;
-                    in_slew = slew[i.index()];
-                }
-            }
-            let in_arrival = in_arrival.unwrap_or_default();
-
-            let (cell_q, out_slew) = self.stage_cell_quantiles(cell.name(), in_slew, load);
-            let (wire_q, wire_mean) = self.stage_wire_quantiles(design, net, cell, None);
-
-            arrival[net.index()] = in_arrival.add(&cell_q).add(&wire_q);
-            slew[net.index()] = (out_slew + 2.0 * wire_mean).max(0.0);
-        }
-
-        let mut earliest: Option<QuantileSet> = None;
-        for &o in design.netlist.outputs() {
-            if matches!(design.netlist.net(o).driver, NetDriver::Gate(_)) {
-                let a = arrival[o.index()];
-                earliest = Some(match earliest {
-                    Some(w) => QuantileSet::from_fn(|l| w[l].min(a[l])),
-                    None => a,
-                });
-            }
-        }
-        earliest.unwrap_or_default()
     }
 }
 
@@ -668,10 +470,8 @@ pub fn fo4_cell() -> Cell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
     use nsigma_netlist::generators::arith::ripple_adder;
     use nsigma_netlist::mapping::map_to_cells;
-    use nsigma_stats::quantile::SigmaLevel;
 
     /// A small library restricted to what the test designs use keeps the
     /// build under a second.
@@ -703,91 +503,6 @@ mod tests {
         cfg.wire.nets = 2;
         cfg.wire.samples = 800;
         NsigmaTimer::build(&tech, lib, &cfg).unwrap()
-    }
-
-    #[test]
-    fn path_quantiles_match_golden_mc_within_paper_band() {
-        let lib = small_lib();
-        let design = adder_design(&lib);
-        let timer = quick_timer(&lib);
-        let path = find_critical_path(&design).unwrap();
-
-        let model = timer.analyze_path(&design, &path);
-        let golden = simulate_path_mc(
-            &design,
-            &path,
-            &PathMcConfig {
-                samples: 3000,
-                seed: 5,
-                input_slew: 10e-12,
-            },
-        );
-
-        for lvl in [
-            SigmaLevel::MinusThree,
-            SigmaLevel::Zero,
-            SigmaLevel::PlusThree,
-        ] {
-            let rel = ((model.quantiles[lvl] - golden.quantiles[lvl]) / golden.quantiles[lvl])
-                .abs()
-                * 100.0;
-            // Paper band: ≤ 6.6% at +3σ, up to 8.7% at −3σ (their Table
-            // III). The −3σ side is the harder one — the worst-arc max()
-            // shortens left tails per cell in a kind-dependent way the
-            // global Table I coefficients only partly capture — so it gets
-            // the wider unit-test budget (the full-budget numbers are in
-            // the table3 binary).
-            let tol = if lvl == SigmaLevel::MinusThree {
-                18.0
-            } else {
-                12.0
-            };
-            assert!(
-                rel < tol,
-                "{lvl}: model {:.1} ps vs golden {:.1} ps ({rel:.1}%)",
-                model.quantiles[lvl] * 1e12,
-                golden.quantiles[lvl] * 1e12
-            );
-        }
-        assert_eq!(model.stages.len(), path.len());
-        assert!(model.quantiles.is_monotone());
-    }
-
-    #[test]
-    fn design_analysis_bounds_path_analysis() {
-        let lib = small_lib();
-        let design = adder_design(&lib);
-        let timer = quick_timer(&lib);
-        let (_, path_timing) = timer.analyze_critical_path(&design).unwrap();
-        let worst = timer.analyze_design(&design);
-        // Block-based max-merge is pessimistic: it can only exceed the
-        // single-path estimate (numerically allow a hair of slack).
-        assert!(
-            worst[SigmaLevel::PlusThree] >= path_timing.quantiles[SigmaLevel::PlusThree] * 0.999,
-            "design {:.2} ps vs path {:.2} ps",
-            worst[SigmaLevel::PlusThree] * 1e12,
-            path_timing.quantiles[SigmaLevel::PlusThree] * 1e12
-        );
-    }
-
-    #[test]
-    fn early_analysis_lower_bounds_late() {
-        let lib = small_lib();
-        let design = adder_design(&lib);
-        let timer = quick_timer(&lib);
-        let early = timer.analyze_design_early(&design);
-        let late = timer.analyze_design(&design);
-        assert!(early.is_monotone());
-        for lvl in SigmaLevel::ALL {
-            assert!(
-                early[lvl] <= late[lvl] + 1e-18,
-                "{lvl}: early {} vs late {}",
-                early[lvl],
-                late[lvl]
-            );
-        }
-        // On a circuit with both short and long cones, the gap is real.
-        assert!(early[SigmaLevel::Zero] < late[SigmaLevel::Zero]);
     }
 
     #[test]

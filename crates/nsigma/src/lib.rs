@@ -30,7 +30,9 @@
 //!
 //! ```no_run
 //! use nsigma::cells::CellLibrary;
+//! use nsigma::core::session::TimingSession;
 //! use nsigma::core::sta::{NsigmaTimer, TimerConfig};
+//! use nsigma::core::stat_max::MergeRule;
 //! use nsigma::mc::design::Design;
 //! use nsigma::netlist::generators::arith::ripple_adder;
 //! use nsigma::netlist::mapping::map_to_cells;
@@ -43,7 +45,8 @@
 //! let netlist = map_to_cells(&ripple_adder(8), &lib)?;
 //! let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 1);
 //! let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(1))?;
-//! let (_, timing) = timer.analyze_critical_path(&design).expect("paths exist");
+//! let session = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
+//! let (_, timing) = session.critical_path().expect("paths exist");
 //! println!("+3σ = {:.1} ps", timing.quantiles[SigmaLevel::PlusThree] * 1e12);
 //! # Ok(())
 //! # }

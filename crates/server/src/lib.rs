@@ -8,8 +8,13 @@
 //! Monte-Carlo characterization of the cell library plus the wire
 //! variability fit — is constructed **once** at startup (or reloaded from
 //! the Fig. 5 coefficients file) and then shared immutably across a worker
-//! pool. Clients register designs and issue timing queries over a
-//! newline-delimited JSON protocol on TCP:
+//! pool. Each registered design becomes a [`nsigma_core::TimingSession`]
+//! in the sharded store, so every endpoint runs the same compiled query
+//! engine as the library and CLI, and query failures arrive as typed
+//! [`nsigma_core::QueryError`]s mapped onto the protocol's error codes
+//! (including `unknown_cell`) rather than worker panics. Clients register
+//! designs and issue timing queries over a newline-delimited JSON protocol
+//! on TCP:
 //!
 //! ```text
 //! > {"cmd":"register_design","name":"c432","iscas":"c432","seed":7}

@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Endpoints tracked individually, in display order.
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 8] = [
     "register_design",
+    "lint_design",
     "analyze_path",
     "worst_paths",
     "quantile",
@@ -94,7 +95,7 @@ impl Metrics {
         m.max_us.fetch_max(micros, Ordering::Relaxed);
         m.latency
             .lock()
-            .expect("latency histogram poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(micros as f64);
     }
 
@@ -115,11 +116,15 @@ impl Metrics {
             if ok + errors == 0 {
                 continue;
             }
-            let hist = m.latency.lock().expect("latency histogram poisoned");
+            let hist = m
+                .latency
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let total_us = m.total_us.load(Ordering::Relaxed);
             per_endpoint.push((
                 name.to_string(),
                 obj(vec![
+                    ("requests", Value::Num((ok + errors) as f64)),
                     ("ok", Value::Num(ok as f64)),
                     ("errors", Value::Num(errors as f64)),
                     ("p50_us", Value::Num(histogram_percentile(&hist, 0.50))),

@@ -12,7 +12,7 @@
 
 use crate::protocol::Request;
 use crossbeam::channel::{bounded, Sender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// One queued request plus everything needed to answer it.
@@ -65,8 +65,11 @@ impl WorkerPool {
         F: Fn(Job) + Send + Sync + 'static,
     {
         let (tx, rx) = bounded::<Job>(capacity.max(1));
+        // A worker that fails to spawn (thread exhaustion) is dropped; the
+        // pool serves with however many threads came up, and submitters
+        // time out rather than the server aborting.
         let workers = (0..threads.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let rx = rx.clone();
                 let handler = Arc::clone(&handler);
                 std::thread::Builder::new()
@@ -76,7 +79,7 @@ impl WorkerPool {
                             handler(job);
                         }
                     })
-                    .expect("spawn worker")
+                    .ok()
             })
             .collect();
         Self {
@@ -95,7 +98,7 @@ impl WorkerPool {
     pub fn queued(&self) -> usize {
         self.tx
             .lock()
-            .expect("pool sender poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map(|tx| tx.len())
             .unwrap_or(0)
@@ -108,7 +111,7 @@ impl WorkerPool {
     /// [`SubmitError::Overloaded`] when the queue is full,
     /// [`SubmitError::ShuttingDown`] after [`WorkerPool::shutdown`].
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        let guard = self.tx.lock().expect("pool sender poisoned");
+        let guard = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
         match guard.as_ref() {
             None => Err(SubmitError::ShuttingDown),
             Some(tx) => match tx.try_send(job) {
@@ -122,11 +125,16 @@ impl WorkerPool {
     /// Stops accepting jobs, drains everything already queued, and joins
     /// the workers.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().expect("pool sender poisoned").take());
+        drop(
+            self.tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
         let workers: Vec<_> = self
             .workers
             .lock()
-            .expect("pool workers poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for w in workers {

@@ -12,9 +12,15 @@
 //! endpoint := "register_design" | "lint_design" | "analyze_path"
 //!           | "worst_paths" | "quantile" | "eco_resize" | "stats"
 //!           | "shutdown"
-//! error-code := "bad_request" | "not_found" | "overloaded"
-//!             | "deadline" | "lint_failed" | "internal"
+//! error-code := "bad_request" | "not_found" | "unknown_cell"
+//!             | "overloaded" | "deadline" | "lint_failed" | "internal"
 //! ```
+//!
+//! `unknown_cell` is the wire form of
+//! [`nsigma_core::QueryError::UnknownCell`]: the design references a cell
+//! the server's timer holds no calibration for. The other query errors map
+//! onto `bad_request` (empty design, unknown strength) and `not_found`
+//! (unknown gate, path rank past the ranked-path count).
 //!
 //! `register_design` lints the generated design before admitting it and
 //! answers `lint_failed` (listing the offending diagnostic codes) when

@@ -5,7 +5,11 @@
 //! newline-delimited JSON protocol of [`crate::protocol`]. Each connection
 //! gets a reader thread; parsed requests flow through the bounded
 //! [`WorkerPool`] into the shared [`Engine`], which owns the timer behind
-//! an `Arc` and the registered designs behind the sharded store.
+//! an `Arc` and one [`TimingSession`] per registered design behind the
+//! sharded store. Sessions carry their own scratch pools, so concurrent
+//! readers of one design never contend on thread-local state, and every
+//! query failure surfaces as a typed [`QueryError`] mapped onto the
+//! protocol's error codes instead of a panic.
 //!
 //! Shutdown — from the `shutdown` endpoint or [`ServerHandle::shutdown`] —
 //! raises a flag, wakes the blocking accept with a self-connection, joins
@@ -20,24 +24,22 @@ use crate::store::DesignStore;
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::TimerConfig;
 use nsigma_core::{
-    read_coefficients, write_coefficients, IncrementalTimer, MergeRule, NsigmaTimer, QueryScratch,
+    read_coefficients, write_coefficients, MergeRule, NsigmaTimer, QueryError, TimingSession,
     YieldCurve,
 };
 use nsigma_mc::design::Design;
-use nsigma_mc::path_sim::find_critical_path;
 use nsigma_netlist::bench_format;
 use nsigma_netlist::generators::random_dag::{synthetic_circuit, Iscas85, SyntheticConfig};
 use nsigma_netlist::mapping::map_to_cells;
 use nsigma_netlist::Path;
 use nsigma_process::Technology;
 use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
-use std::cell::RefCell;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock, Weak};
+use std::sync::{Arc, OnceLock, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// Everything [`Server::start`] needs.
@@ -273,9 +275,10 @@ impl Engine {
             }
         }
         let gates = design.netlist.num_gates();
-        let inc = IncrementalTimer::new(Arc::clone(&self.timer), design, MergeRule::Pessimistic);
-        let worst = inc.worst_output();
-        if !self.store.insert(&name, inc) {
+        let session = TimingSession::new(Arc::clone(&self.timer), design, MergeRule::Pessimistic)
+            .map_err(query_err)?;
+        let worst = session.worst_output();
+        if !self.store.insert(&name, session) {
             return Err((
                 "bad_request",
                 format!("design {name:?} is already registered"),
@@ -290,8 +293,8 @@ impl Engine {
 
     fn lint_design(&self, design: &str) -> ExecResult {
         let slot = self.lookup(design)?;
-        let inc = slot.read().expect("design slot poisoned");
-        let report = nsigma_lint::lint_design(inc.design(), &self.timer);
+        let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+        let report = nsigma_lint::lint_design(session.design(), &self.timer);
         let (errors, warnings, infos) = report.counts();
         Ok(vec![
             ("design", Value::Str(design.to_string())),
@@ -304,13 +307,13 @@ impl Engine {
 
     fn analyze_path(&self, design: &str) -> ExecResult {
         let slot = self.lookup(design)?;
-        let inc = slot.read().expect("design slot poisoned");
-        let path = find_critical_path(inc.design())
+        let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+        let (path, timing) = session
+            .critical_path()
             .ok_or_else(|| ("not_found", format!("design {design:?} has no gates")))?;
-        let timing = inc.compiled().analyze_path(inc.timer(), &path);
         Ok(vec![
             ("design", Value::Str(design.to_string())),
-            ("gates", path_gates_json(inc.design(), &path)),
+            ("gates", path_gates_json(session.design(), &path)),
             ("stages", Value::Num(path.len() as f64)),
             ("quantiles", quantiles_json(&timing.quantiles)),
         ])
@@ -318,13 +321,13 @@ impl Engine {
 
     fn worst_paths(&self, design: &str, k: usize) -> ExecResult {
         let slot = self.lookup(design)?;
-        let inc = slot.read().expect("design slot poisoned");
-        let paths = ranked_paths(&inc, k.max(1));
+        let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+        let paths = session.worst_paths(k.max(1));
         let mut out = Vec::with_capacity(paths.len());
         for path in &paths {
-            let timing = inc.compiled().analyze_path(inc.timer(), path);
+            let timing = session.analyze_path(path).map_err(query_err)?;
             out.push(Value::Obj(vec![
-                ("gates".to_string(), path_gates_json(inc.design(), path)),
+                ("gates".to_string(), path_gates_json(session.design(), path)),
                 ("stages".to_string(), Value::Num(path.len() as f64)),
                 ("quantiles".to_string(), quantiles_json(&timing.quantiles)),
             ]));
@@ -337,15 +340,8 @@ impl Engine {
 
     fn quantile(&self, design: &str, rank: usize, sigma: f64) -> ExecResult {
         let slot = self.lookup(design)?;
-        let inc = slot.read().expect("design slot poisoned");
-        let paths = ranked_paths(&inc, rank + 1);
-        let path = paths.get(rank).ok_or_else(|| {
-            (
-                "not_found",
-                format!("design {design:?} has only {} ranked paths", paths.len()),
-            )
-        })?;
-        let timing = inc.compiled().analyze_path(inc.timer(), path);
+        let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+        let (_, timing) = session.path_by_rank(rank).map_err(query_err)?;
         let q = timing.quantiles;
         let delay = if sigma.fract() == 0.0 && (-3.0..=3.0).contains(&sigma) {
             q[integer_level(sigma as i32)]
@@ -369,36 +365,21 @@ impl Engine {
 
     fn eco_resize(&self, design: &str, gate: &str, strength: u32) -> ExecResult {
         let slot = self.lookup(design)?;
-        let mut inc = slot.write().expect("design slot poisoned");
-        let gid = inc
-            .design()
-            .netlist
-            .gate_ids()
-            .find(|&g| inc.design().netlist.gate(g).name == gate)
-            .ok_or_else(|| {
-                (
-                    "not_found",
-                    format!("design {design:?} has no gate {gate:?}"),
-                )
-            })?;
-        let kind = {
-            let g = inc.design().netlist.gate(gid);
-            inc.design().lib.cell(g.cell).kind()
-        };
-        if self.lib.find_kind(kind, strength).is_none() {
-            return Err((
-                "bad_request",
-                format!("library has no {}x{strength}", kind.prefix()),
-            ));
-        }
-        let worst = inc.resize_gate(gid, strength);
+        let mut session = slot.write().unwrap_or_else(PoisonError::into_inner);
+        let gid = session.find_gate(gate).ok_or_else(|| {
+            (
+                "not_found",
+                format!("design {design:?} has no gate {gate:?}"),
+            )
+        })?;
+        let worst = session.resize_gate(gid, strength).map_err(query_err)?;
         Ok(vec![
             ("design", Value::Str(design.to_string())),
             ("gate", Value::Str(gate.to_string())),
             ("strength", Value::Num(strength as f64)),
             (
                 "recomputed_gates",
-                Value::Num(inc.last_recompute_count() as f64),
+                Value::Num(session.last_recompute_count() as f64),
             ),
             ("worst_quantiles", quantiles_json(&worst)),
         ])
@@ -412,6 +393,21 @@ impl Engine {
             .and_then(Weak::upgrade)
             .map(|p| (p.queued(), p.capacity()))
             .unwrap_or((0, 0));
+        // Per-design stage-cache traffic, attributed by each session's own
+        // lookup counters (the global `stage_cache` object mixes designs).
+        let mut design_cache: Vec<(String, Value)> = Vec::new();
+        self.store.for_each(|name, slot| {
+            let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+            let c = session.cache_counters();
+            design_cache.push((
+                name.to_string(),
+                Value::Obj(vec![
+                    ("hits".to_string(), Value::Num(c.hits as f64)),
+                    ("misses".to_string(), Value::Num(c.misses as f64)),
+                    ("hit_rate".to_string(), Value::Num(c.hit_rate())),
+                ]),
+            ));
+        });
         vec![
             ("uptime_s", Value::Num(self.started.elapsed().as_secs_f64())),
             ("threads", Value::Num(self.threads as f64)),
@@ -427,6 +423,7 @@ impl Engine {
                     ("hit_rate".to_string(), Value::Num(cache.hit_rate())),
                 ]),
             ),
+            ("design_cache", Value::Obj(design_cache)),
             ("metrics", self.metrics.snapshot_with_cache(&cache)),
         ]
     }
@@ -441,18 +438,10 @@ impl Engine {
     }
 }
 
-thread_local! {
-    /// Per-worker scratch arenas: each worker (and connection) thread keeps
-    /// one set of arrival/slew buffers and k-worst DP tables, reused across
-    /// every query it serves.
-    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
-}
-
-/// The worst-path ranking shared with `report::report_worst_paths`:
-/// precompiled nominal arc weights over the precompiled topo order, using
-/// this worker's scratch tables.
-fn ranked_paths(inc: &IncrementalTimer<Arc<NsigmaTimer>>, k: usize) -> Vec<Path> {
-    SCRATCH.with(|s| inc.compiled().ranked_paths(k, &mut s.borrow_mut().paths))
+/// Maps a typed core [`QueryError`] onto the protocol's error envelope:
+/// the error's wire code plus its display message.
+fn query_err(e: QueryError) -> (&'static str, String) {
+    (e.code(), e.to_string())
 }
 
 fn integer_level(n: i32) -> SigmaLevel {
@@ -546,24 +535,23 @@ impl Server {
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        engine.addr.set(addr).expect("addr set once");
+        // The engine is freshly built, so these cells are empty; `set` can
+        // only fail if `start` raced itself, which `Arc::new` above rules
+        // out. Ignoring the result keeps the startup path panic-free.
+        let _ = engine.addr.set(addr);
 
         let handler = {
             let engine = Arc::clone(&engine);
             Arc::new(move |job: Job| engine.process(job))
         };
         let pool = Arc::new(WorkerPool::new(cfg.threads, cfg.queue_capacity, handler));
-        engine
-            .pool
-            .set(Arc::downgrade(&pool))
-            .expect("pool set once");
+        let _ = engine.pool.set(Arc::downgrade(&pool));
 
         let accept = {
             let engine = Arc::clone(&engine);
             std::thread::Builder::new()
                 .name("nsigma-accept".to_string())
-                .spawn(move || accept_loop(listener, engine, pool))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(listener, engine, pool))?
         };
         Ok(ServerHandle {
             addr,
@@ -611,12 +599,14 @@ fn accept_loop(listener: TcpListener, engine: Arc<Engine>, pool: Arc<WorkerPool>
                 let engine = Arc::clone(&engine);
                 let pool = Arc::clone(&pool);
                 conns.retain(|h| !h.is_finished());
-                conns.push(
-                    std::thread::Builder::new()
-                        .name("nsigma-conn".to_string())
-                        .spawn(move || serve_connection(stream, engine, pool))
-                        .expect("spawn connection thread"),
-                );
+                // A failed spawn (thread exhaustion) drops the stream,
+                // closing the connection; the server itself stays up.
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("nsigma-conn".to_string())
+                    .spawn(move || serve_connection(stream, engine, pool))
+                {
+                    conns.push(handle);
+                }
             }
             Err(_) => {
                 if engine.is_shutdown() {

@@ -6,13 +6,13 @@
 //! Sharding the name→design map keeps registration from serializing
 //! against lookups on unrelated shards.
 
-use nsigma_core::{IncrementalTimer, NsigmaTimer};
+use nsigma_core::{NsigmaTimer, TimingSession};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
-/// One registered design under incremental analysis, sharing the server's
-/// timer through an [`Arc`].
-pub type DesignSlot = RwLock<IncrementalTimer<Arc<NsigmaTimer>>>;
+/// One registered design's timing session, sharing the server's timer
+/// through an [`Arc`].
+pub type DesignSlot = RwLock<TimingSession<Arc<NsigmaTimer>>>;
 
 /// The sharded store.
 pub struct DesignStore {
@@ -41,8 +41,11 @@ impl DesignStore {
 
     /// Registers a design. Returns `false` (and leaves the store unchanged)
     /// if the name is already taken.
-    pub fn insert(&self, name: &str, slot: IncrementalTimer<Arc<NsigmaTimer>>) -> bool {
-        let mut map = self.shard(name).write().expect("store shard poisoned");
+    pub fn insert(&self, name: &str, slot: TimingSession<Arc<NsigmaTimer>>) -> bool {
+        let mut map = self
+            .shard(name)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if map.contains_key(name) {
             return false;
         }
@@ -54,16 +57,28 @@ impl DesignStore {
     pub fn get(&self, name: &str) -> Option<Arc<DesignSlot>> {
         self.shard(name)
             .read()
-            .expect("store shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
+    }
+
+    /// Visits every registered design slot in shard order (name order is
+    /// unspecified). Used by the server's `stats` endpoint for per-design
+    /// cache metrics.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &Arc<DesignSlot>)) {
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            for (name, slot) in map.iter() {
+                f(name, slot);
+            }
+        }
     }
 
     /// Number of registered designs.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("store shard poisoned").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -115,10 +130,11 @@ mod tests {
         let (timer, design) = tiny();
         let store = DesignStore::new(4);
         assert!(store.is_empty());
-        let inc = IncrementalTimer::new(Arc::clone(&timer), design.clone(), MergeRule::Pessimistic);
-        assert!(store.insert("a", inc));
-        let inc2 = IncrementalTimer::new(timer, design, MergeRule::Pessimistic);
-        assert!(!store.insert("a", inc2), "duplicate name must be rejected");
+        let s =
+            TimingSession::new(Arc::clone(&timer), design.clone(), MergeRule::Pessimistic).unwrap();
+        assert!(store.insert("a", s));
+        let s2 = TimingSession::new(timer, design, MergeRule::Pessimistic).unwrap();
+        assert!(!store.insert("a", s2), "duplicate name must be rejected");
         assert_eq!(store.len(), 1);
         assert!(store.get("a").is_some());
         assert!(store.get("b").is_none());
@@ -129,11 +145,14 @@ mod tests {
         let (timer, design) = tiny();
         let store = DesignStore::new(2);
         for i in 0..8 {
-            let inc =
-                IncrementalTimer::new(Arc::clone(&timer), design.clone(), MergeRule::Pessimistic);
-            assert!(store.insert(&format!("d{i}"), inc));
+            let s = TimingSession::new(Arc::clone(&timer), design.clone(), MergeRule::Pessimistic)
+                .unwrap();
+            assert!(store.insert(&format!("d{i}"), s));
         }
         assert_eq!(store.len(), 8);
+        let mut visited = 0;
+        store.for_each(|_, _| visited += 1);
+        assert_eq!(visited, 8);
         // Every slot borrows the same timer instance.
         let a = store.get("d0").unwrap();
         let b = store.get("d7").unwrap();

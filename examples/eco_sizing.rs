@@ -1,4 +1,4 @@
-//! ECO gate-sizing walkthrough with the incremental N-sigma timer: fix a
+//! ECO gate-sizing walkthrough with an N-sigma timing session: fix a
 //! +3σ timing violation by upsizing cells on the critical path, re-analyzing
 //! only the affected cone after each edit — the gate-sizing context the
 //! paper's correction-factor citation [8] lives in.
@@ -7,7 +7,7 @@
 
 use nsigma::cells::cell::{Cell, CellKind};
 use nsigma::cells::CellLibrary;
-use nsigma::core::incremental::IncrementalTimer;
+use nsigma::core::session::TimingSession;
 use nsigma::core::sta::{NsigmaTimer, TimerConfig};
 use nsigma::core::stat_max::MergeRule;
 use nsigma::mc::design::Design;
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Critical path before any edit.
     let path = find_critical_path(&design).expect("path");
-    let mut inc = IncrementalTimer::new(&timer, design, MergeRule::Pessimistic);
+    let mut inc = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
     let before = inc.worst_output();
     println!(
         "\ninitial worst +3σ arrival: {:.1} ps ({} gates, {}-stage critical path)",
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let new_strength = (strength * 2).min(8);
-        let after = inc.resize_gate(g, new_strength);
+        let after = inc.resize_gate(g, new_strength)?;
         edits += 1;
         touched += inc.last_recompute_count();
         println!(

@@ -7,6 +7,7 @@
 use nsigma_baselines::corner::CornerSta;
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::random_dag::Iscas85;
@@ -36,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = find_critical_path(&design).expect("critical path");
     println!("critical path: {} stages", path.len());
 
-    let model = timer.analyze_path(&design, &path);
+    let session = TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic)?;
+    let model = session.analyze_path(&path)?;
     let golden = simulate_path_mc(&design, &path, &PathMcConfig::paper(0xC0FFEE));
     let corner = CornerSta::signoff().analyze_path(&design, &path);
 

@@ -7,6 +7,7 @@
 use nsigma_cells::cell::{Cell, CellKind};
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
+use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
 use nsigma_mc::path_sim::{simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
@@ -46,10 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building N-sigma timer (characterization + calibration)...");
     let timer = NsigmaTimer::build(&tech, &lib, &TimerConfig::standard(7))?;
 
-    // 5. Analyze the critical path — instantaneous, no Monte Carlo.
-    let (path, timing) = timer
-        .analyze_critical_path(&design)
-        .expect("non-empty design");
+    // 5. Open a timing session and analyze the critical path —
+    //    instantaneous, no Monte Carlo.
+    let session = TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic)?;
+    let (path, timing) = session.critical_path().expect("non-empty design");
     println!("\ncritical path: {} stages", path.len());
     for lvl in SigmaLevel::ALL {
         println!("  T_path({lvl}) = {:8.1} ps", timing.quantiles[lvl] * 1e12);

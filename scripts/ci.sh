@@ -9,10 +9,22 @@ export CARGO_NET_OFFLINE=true
 cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
-# The compiled-vs-legacy equivalence suite must pass in release too: the
+# The session-vs-reference differential suite must pass in release too: the
 # bit-identity claims are about the optimized code the server actually runs.
 cargo test -q --offline --release -p nsigma --test compiled
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Request paths must stay panic-free: no `.unwrap(` outside #[cfg(test)]
+# in the server and CLI sources (typed QueryError + poison-tolerant locks
+# replaced them; see DESIGN.md §8).
+unwrap_hits=$(for f in crates/server/src/*.rs crates/cli/src/*.rs; do
+  awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(/{print FILENAME ":" FNR ": " $0}' "$f"
+done)
+if [ -n "$unwrap_hits" ]; then
+  echo "ci: .unwrap() reintroduced on a request path:" >&2
+  echo "$unwrap_hits" >&2
+  exit 1
+fi
 # Criterion benches must at least compile; running them is opt-in.
 cargo bench --offline --workspace --no-run
 

@@ -1,16 +1,19 @@
-//! Equivalence suite for the compiled timing graph: every query the
-//! server or CLI can issue must produce bit-identical answers whether it
-//! runs over the legacy string-keyed path or the interned/CSR compiled
-//! path, and the sharded stage cache must account for every lookup under
-//! concurrency.
+//! Differential-equivalence suite for the session query engine: every
+//! query the server or CLI can issue must produce bit-identical answers
+//! whether it runs through the production [`TimingSession`] (interned/CSR
+//! compiled graph) or the legacy string-keyed oracle in
+//! [`nsigma_core::reference`] — across generator-driven random circuits,
+//! both merge rules, early mode, and ECO resize sequences — and the
+//! sharded stage cache must account for every lookup under concurrency.
 
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::TimerConfig;
-use nsigma_core::{CompiledDesign, IncrementalTimer, MergeRule, NsigmaTimer, QueryScratch};
+use nsigma_core::{reference, MergeRule, NsigmaTimer, TimingSession};
 use nsigma_mc::design::Design;
-use nsigma_netlist::generators::random_dag::Iscas85;
+use nsigma_netlist::generators::random_dag::{synthetic_circuit, Iscas85, SyntheticConfig};
+use nsigma_netlist::logic::LogicCircuit;
 use nsigma_netlist::mapping::map_to_cells;
-use nsigma_netlist::{k_longest_paths_by, GateId, Path, PathScratch};
+use nsigma_netlist::{k_longest_paths_by, GateId, Path};
 use nsigma_process::Technology;
 use nsigma_stats::quantile::QuantileSet;
 
@@ -29,9 +32,35 @@ fn build_timer(tech: &Technology, lib: &CellLibrary) -> NsigmaTimer {
     NsigmaTimer::build(tech, lib, &timer_config()).expect("timer build")
 }
 
+fn design_of(tech: &Technology, lib: &CellLibrary, circuit: &LogicCircuit, seed: u64) -> Design {
+    let netlist = map_to_cells(circuit, lib).expect("mapping");
+    Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, seed)
+}
+
 fn c432_design(tech: &Technology, lib: &CellLibrary) -> Design {
-    let netlist = map_to_cells(&Iscas85::C432.generate(), lib).expect("mapping");
-    Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, PARASITIC_SEED)
+    design_of(tech, lib, &Iscas85::C432.generate(), PARASITIC_SEED)
+}
+
+/// Random circuits for the differential sweep: several shapes and seeds
+/// from the synthetic-DAG generator, plus a real ISCAS85 benchmark.
+fn generated_designs(tech: &Technology, lib: &CellLibrary) -> Vec<Design> {
+    let mut designs = vec![c432_design(tech, lib)];
+    for (i, (gates, inputs, outputs, depth)) in [(80, 8, 6, 6), (120, 12, 8, 8), (200, 16, 10, 10)]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = 100 + 37 * i as u64;
+        let circuit = synthetic_circuit(&SyntheticConfig {
+            name: format!("rand{i}"),
+            gates,
+            inputs,
+            outputs,
+            depth,
+            seed,
+        });
+        designs.push(design_of(tech, lib, &circuit, seed ^ 0x5a));
+    }
+    designs
 }
 
 fn assert_bits_eq(a: &QuantileSet, b: &QuantileSet, what: &str) {
@@ -66,43 +95,58 @@ fn legacy_ranked_paths(design: &Design, k: usize) -> Vec<Path> {
 }
 
 #[test]
-fn analyze_design_matches_legacy_bit_for_bit() {
+fn generated_designs_match_reference_bit_for_bit() {
     let tech = Technology::synthetic_28nm();
     let lib = CellLibrary::standard();
     let timer = build_timer(&tech, &lib);
-    let design = c432_design(&tech, &lib);
-    let compiled = CompiledDesign::compile(&timer, design.clone());
 
-    let mut scratch = QueryScratch::new();
-    for rule in [MergeRule::Pessimistic, MergeRule::Clark { rho: 0.3 }] {
-        let legacy = timer.analyze_design_with(&design, rule);
-        let fast = compiled.analyze_design_with(&timer, rule, &mut scratch);
-        assert_bits_eq(&legacy, &fast, &format!("analyze_design {rule:?}"));
+    for design in generated_designs(&tech, &lib) {
+        let name = design.netlist.name().to_string();
+        let session = TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic)
+            .expect("session build");
+
+        for rule in [MergeRule::Pessimistic, MergeRule::Clark { rho: 0.3 }] {
+            let oracle = reference::analyze_design_with(&timer, &design, rule);
+            let fast = session.analyze_design_with(rule);
+            assert_bits_eq(&oracle, &fast, &format!("{name}: analyze_design {rule:?}"));
+        }
+        let oracle_early = reference::analyze_design_early(&timer, &design);
+        let fast_early = session.analyze_design_early();
+        assert_bits_eq(
+            &oracle_early,
+            &fast_early,
+            &format!("{name}: analyze_design_early"),
+        );
     }
-    let legacy_early = timer.analyze_design_early(&design);
-    let fast_early = compiled.analyze_design_early(&timer, &mut scratch);
-    assert_bits_eq(&legacy_early, &fast_early, "analyze_design_early");
 }
 
 #[test]
-fn analyze_path_matches_legacy_bit_for_bit() {
+fn generated_paths_match_reference_bit_for_bit() {
     let tech = Technology::synthetic_28nm();
     let lib = CellLibrary::standard();
     let timer = build_timer(&tech, &lib);
-    let design = c432_design(&tech, &lib);
-    let compiled = CompiledDesign::compile(&timer, design.clone());
 
-    for path in legacy_ranked_paths(&design, 5) {
-        let legacy = timer.analyze_path(&design, &path);
-        let fast = compiled.analyze_path(&timer, &path);
-        assert_bits_eq(&legacy.quantiles, &fast.quantiles, "analyze_path total");
-        assert_eq!(legacy.stages.len(), fast.stages.len());
-        for (ls, fs) in legacy.stages.iter().zip(&fast.stages) {
-            assert_eq!(ls.gate, fs.gate);
-            assert_eq!(ls.cell, fs.cell);
-            assert_eq!(ls.input_slew.to_bits(), fs.input_slew.to_bits());
-            assert_bits_eq(&ls.cell_quantiles, &fs.cell_quantiles, "stage cell");
-            assert_bits_eq(&ls.wire_quantiles, &fs.wire_quantiles, "stage wire");
+    for design in generated_designs(&tech, &lib) {
+        let name = design.netlist.name().to_string();
+        let session = TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic)
+            .expect("session build");
+
+        for path in legacy_ranked_paths(&design, 5) {
+            let oracle = reference::analyze_path(&timer, &design, &path);
+            let fast = session.analyze_path(&path).expect("in-design path");
+            assert_bits_eq(
+                &oracle.quantiles,
+                &fast.quantiles,
+                &format!("{name}: analyze_path total"),
+            );
+            assert_eq!(oracle.stages.len(), fast.stages.len());
+            for (ls, fs) in oracle.stages.iter().zip(&fast.stages) {
+                assert_eq!(ls.gate, fs.gate);
+                assert_eq!(ls.cell, fs.cell);
+                assert_eq!(ls.input_slew.to_bits(), fs.input_slew.to_bits());
+                assert_bits_eq(&ls.cell_quantiles, &fs.cell_quantiles, "stage cell");
+                assert_bits_eq(&ls.wire_quantiles, &fs.wire_quantiles, "stage wire");
+            }
         }
     }
 }
@@ -113,59 +157,68 @@ fn worst_paths_ranking_matches_legacy() {
     let lib = CellLibrary::standard();
     let timer = build_timer(&tech, &lib);
     let design = c432_design(&tech, &lib);
-    let compiled = CompiledDesign::compile(&timer, design.clone());
+    let session =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session build");
 
     let legacy = legacy_ranked_paths(&design, 8);
-    let mut scratch = PathScratch::new();
-    let fast = compiled.ranked_paths(8, &mut scratch);
+    let fast = session.worst_paths(8);
     assert_eq!(legacy.len(), fast.len());
     for (lp, fp) in legacy.iter().zip(&fast) {
         assert_eq!(lp.gates, fp.gates, "path gate sequence differs");
         assert_eq!(lp.nets, fp.nets, "path net sequence differs");
     }
-    // Reusing the scratch must not perturb a second identical query.
-    let again = compiled.ranked_paths(8, &mut scratch);
+    // Reusing the session's scratch pool must not perturb a second
+    // identical query.
+    let again = session.worst_paths(8);
     for (fp, ap) in fast.iter().zip(&again) {
         assert_eq!(fp.gates, ap.gates);
     }
 }
 
 #[test]
-fn incremental_resize_sequence_matches_legacy_full_reanalysis() {
+fn resize_sequences_match_reference_full_reanalysis() {
     let tech = Technology::synthetic_28nm();
     let lib = CellLibrary::standard();
     let timer = build_timer(&tech, &lib);
-    let design = c432_design(&tech, &lib);
 
-    // Twin design mutated in lock-step through the legacy API.
-    let mut twin = design.clone();
-    let mut inc = IncrementalTimer::new(&timer, design, MergeRule::Pessimistic);
-    assert_bits_eq(
-        &timer.analyze_design_with(&twin, MergeRule::Pessimistic),
-        &inc.worst_output(),
-        "initial full analysis",
-    );
-
-    let total_gates = twin.netlist.num_gates();
-    let picks = [3usize, 57, 111, 3, 200];
-    let strengths = [8u32, 4, 8, 1, 2];
-    for (step, (&gi, &strength)) in picks.iter().zip(&strengths).enumerate() {
-        let gate = GateId::from_index(gi % total_gates);
-        let kind = {
-            let g = twin.netlist.gate(gate);
-            twin.lib.cell(g.cell).kind()
-        };
-        let Some(cell) = twin.lib.find_kind(kind, strength) else {
-            continue;
-        };
-        twin.replace_gate_cell(gate, cell);
-        let incremental = inc.resize_gate(gate, strength);
-        let legacy = timer.analyze_design_with(&twin, MergeRule::Pessimistic);
-        assert_bits_eq(&legacy, &incremental, &format!("after resize {step}"));
-        assert!(
-            inc.last_recompute_count() <= total_gates,
-            "recompute visited more gates than the design has"
+    for design in generated_designs(&tech, &lib) {
+        let name = design.netlist.name().to_string();
+        // Twin design mutated in lock-step and re-analyzed from scratch
+        // through the string-keyed oracle.
+        let mut twin = design.clone();
+        let mut session =
+            TimingSession::new(&timer, design, MergeRule::Pessimistic).expect("session build");
+        assert_bits_eq(
+            &reference::analyze_design_with(&timer, &twin, MergeRule::Pessimistic),
+            &session.worst_output(),
+            &format!("{name}: initial full analysis"),
         );
+
+        let total_gates = twin.netlist.num_gates();
+        let picks = [3usize, 57, 111, 3, 200];
+        let strengths = [8u32, 4, 8, 1, 2];
+        for (step, (&gi, &strength)) in picks.iter().zip(&strengths).enumerate() {
+            let gate = GateId::from_index(gi % total_gates);
+            let kind = {
+                let g = twin.netlist.gate(gate);
+                twin.lib.cell(g.cell).kind()
+            };
+            let Some(cell) = twin.lib.find_kind(kind, strength) else {
+                continue;
+            };
+            twin.replace_gate_cell(gate, cell);
+            let incremental = session.resize_gate(gate, strength).expect("resize");
+            let oracle = reference::analyze_design_with(&timer, &twin, MergeRule::Pessimistic);
+            assert_bits_eq(
+                &oracle,
+                &incremental,
+                &format!("{name}: after resize {step}"),
+            );
+            assert!(
+                session.last_recompute_count() <= total_gates,
+                "recompute visited more gates than the design has"
+            );
+        }
     }
 }
 
@@ -177,27 +230,28 @@ fn eight_threads_account_for_every_cache_lookup() {
     let lib = CellLibrary::standard();
     let timer = build_timer(&tech, &lib);
     let design = c432_design(&tech, &lib);
-    let compiled = CompiledDesign::compile(&timer, design.clone());
     let gates = design.netlist.num_gates() as u64;
 
     const THREADS: u64 = 8;
     const ITERS: u64 = 16;
-    let reference = timer.analyze_design_with(&design, MergeRule::Pessimistic);
+    // Session build runs the initial full analysis: one lookup per gate.
+    let session =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session build");
+    let reference_q = reference::analyze_design_with(&timer, &design, MergeRule::Pessimistic);
     let before = timer.cache_stats();
-    assert_eq!(before.hits + before.misses, gates, "reference pass lookups");
+    assert_eq!(
+        before.hits + before.misses,
+        2 * gates,
+        "session init + reference pass lookups"
+    );
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut scratch = QueryScratch::new();
                     for _ in 0..ITERS {
-                        let q = compiled.analyze_design_with(
-                            &timer,
-                            MergeRule::Pessimistic,
-                            &mut scratch,
-                        );
-                        assert_bits_eq(&reference, &q, "concurrent analyze_design");
+                        let q = session.analyze_design();
+                        assert_bits_eq(&reference_q, &q, "concurrent analyze_design");
                     }
                 })
             })
@@ -208,7 +262,7 @@ fn eight_threads_account_for_every_cache_lookup() {
     });
 
     let stats = timer.cache_stats();
-    let lookups = gates * (THREADS * ITERS + 1);
+    let lookups = gates * (THREADS * ITERS + 2);
     assert_eq!(
         stats.hits + stats.misses,
         lookups,
@@ -219,4 +273,14 @@ fn eight_threads_account_for_every_cache_lookup() {
     assert!(stats.entries <= stats.misses);
     assert!(stats.misses < lookups, "steady-state queries must hit");
     assert!(stats.hit_rate() > 0.9, "hit rate {:.3}", stats.hit_rate());
+
+    // The session's own counters attribute exactly its share: the init
+    // pass plus every threaded query, and nothing from the oracle pass.
+    let mine = session.cache_counters();
+    assert_eq!(
+        mine.hits + mine.misses,
+        gates * (THREADS * ITERS + 1),
+        "per-session counters must cover init + threaded queries only"
+    );
+    assert!(mine.hits > 0, "repeated identical queries must hit");
 }

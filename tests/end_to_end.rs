@@ -5,9 +5,9 @@ use nsigma::baselines::corner::CornerSta;
 use nsigma::cells::cell::{Cell, CellKind};
 use nsigma::cells::CellLibrary;
 use nsigma::core::sta::{NsigmaTimer, TimerConfig};
-use nsigma::core::{read_coefficients, write_coefficients};
+use nsigma::core::{read_coefficients, write_coefficients, MergeRule, TimingSession};
 use nsigma::mc::design::Design;
-use nsigma::mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
+use nsigma::mc::path_sim::{simulate_path_mc, PathMcConfig};
 use nsigma::netlist::generators::arith::{ripple_adder, ripple_subtractor};
 use nsigma::netlist::mapping::map_to_cells;
 use nsigma::process::Technology;
@@ -44,8 +44,9 @@ fn full_flow_model_tracks_golden_on_both_tails() {
     let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 11);
     let timer = quick_timer(&tech, &lib, 21);
 
-    let path = find_critical_path(&design).expect("path");
-    let model = timer.analyze_path(&design, &path);
+    let session =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
+    let (path, model) = session.critical_path().expect("path");
     let golden = simulate_path_mc(
         &design,
         &path,
@@ -79,8 +80,9 @@ fn model_beats_the_corner_flow_at_plus_three_sigma() {
     let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 5);
     let timer = quick_timer(&tech, &lib, 31);
 
-    let path = find_critical_path(&design).expect("path");
-    let model = timer.analyze_path(&design, &path);
+    let session =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
+    let (path, model) = session.critical_path().expect("path");
     let corner = CornerSta::signoff().analyze_path(&design, &path);
     let golden = simulate_path_mc(
         &design,
@@ -114,9 +116,11 @@ fn coefficients_file_round_trips_through_analysis() {
     let text = write_coefficients(&timer);
     let restored = read_coefficients(&tech, &text).expect("parse back");
 
-    let path = find_critical_path(&design).expect("path");
-    let a = timer.analyze_path(&design, &path);
-    let b = restored.analyze_path(&design, &path);
+    let session_a =
+        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
+    let session_b = TimingSession::new(&restored, design, MergeRule::Pessimistic).expect("session");
+    let (path, a) = session_a.critical_path().expect("path");
+    let b = session_b.analyze_path(&path).expect("path timing");
     for lvl in SigmaLevel::ALL {
         let rel = ((a.quantiles[lvl] - b.quantiles[lvl]) / a.quantiles[lvl]).abs();
         assert!(rel < 1e-9, "{lvl} drifted through serialization: {rel}");
@@ -131,8 +135,9 @@ fn design_level_analysis_is_pessimistic_but_ordered() {
     let design = Design::with_generated_parasitics(tech.clone(), lib.clone(), netlist, 13);
     let timer = quick_timer(&tech, &lib, 51);
 
-    let (_, path_timing) = timer.analyze_critical_path(&design).expect("path");
-    let worst = timer.analyze_design(&design);
+    let session = TimingSession::new(&timer, design, MergeRule::Pessimistic).expect("session");
+    let (_, path_timing) = session.critical_path().expect("path");
+    let worst = session.analyze_design();
     assert!(worst.is_monotone());
     assert!(
         worst[SigmaLevel::PlusThree] >= path_timing.quantiles[SigmaLevel::PlusThree] * 0.999,

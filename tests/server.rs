@@ -5,7 +5,7 @@
 
 use nsigma_cells::CellLibrary;
 use nsigma_core::sta::TimerConfig;
-use nsigma_core::{IncrementalTimer, MergeRule, NsigmaTimer, YieldCurve};
+use nsigma_core::{MergeRule, NsigmaTimer, TimingSession, YieldCurve};
 use nsigma_mc::design::Design;
 use nsigma_netlist::generators::random_dag::Iscas85;
 use nsigma_netlist::mapping::map_to_cells;
@@ -71,10 +71,18 @@ fn concurrent_clients_get_bit_exact_answers() {
     let lib = CellLibrary::standard();
     let local_timer = NsigmaTimer::build(&tech, &lib, &timer_config()).expect("local timer");
     let reference = local_design(&tech, &lib);
+    let local_session = TimingSession::new(&local_timer, reference.clone(), MergeRule::Pessimistic)
+        .expect("local session");
     let ref_paths = ranked_paths(&reference, 2);
     let ref_quantiles: Vec<[f64; 7]> = ref_paths
         .iter()
-        .map(|p| local_timer.analyze_path(&reference, p).quantiles.as_array())
+        .map(|p| {
+            local_session
+                .analyze_path(p)
+                .expect("local path")
+                .quantiles
+                .as_array()
+        })
         .collect();
 
     // Per-client ECO reference: each client registers its own copy of the
@@ -89,14 +97,11 @@ fn concurrent_clients_get_bit_exact_answers() {
     let eco_reference: Vec<[f64; 7]> = eco_gates
         .iter()
         .map(|name| {
-            let mut inc =
-                IncrementalTimer::new(&local_timer, reference.clone(), MergeRule::Pessimistic);
-            let gid = reference
-                .netlist
-                .gate_ids()
-                .find(|&g| reference.netlist.gate(g).name == *name)
-                .expect("gate by name");
-            inc.resize_gate(gid, 8).as_array()
+            let mut session =
+                TimingSession::new(&local_timer, reference.clone(), MergeRule::Pessimistic)
+                    .expect("eco session");
+            let gid = session.find_gate(name).expect("gate by name");
+            session.resize_gate(gid, 8).expect("resize").as_array()
         })
         .collect();
 
@@ -188,6 +193,20 @@ fn concurrent_clients_get_bit_exact_answers() {
         "stage cache must be hit across designs"
     );
     assert_eq!(stats.get("designs").unwrap().as_u64(), Some(4));
+    // Per-design cache attribution: every registered design ran its
+    // initial analysis through its session, so each entry reports lookups.
+    let design_cache = stats.get("design_cache").unwrap();
+    for i in 0..n_clients {
+        let entry = design_cache.get(&format!("c432-{i}")).unwrap();
+        let hits = entry.get("hits").unwrap().as_u64().unwrap();
+        let misses = entry.get("misses").unwrap().as_u64().unwrap();
+        assert!(
+            hits + misses > 0,
+            "design c432-{i} must report cache traffic"
+        );
+        let rate = entry.get("hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+    }
     let metrics = stats.get("metrics").unwrap();
     assert_eq!(metrics.get("bad_requests").unwrap().as_u64(), Some(1));
     let wp = metrics
@@ -196,6 +215,11 @@ fn concurrent_clients_get_bit_exact_answers() {
         .get("worst_paths")
         .unwrap();
     assert_eq!(wp.get("ok").unwrap().as_u64(), Some(4));
+    assert_eq!(
+        wp.get("requests").unwrap().as_u64(),
+        Some(5),
+        "requests must equal ok + errors, matching the bench report field"
+    );
     let p50 = wp.get("p50_us").unwrap().as_f64().unwrap();
     let p99 = wp.get("p99_us").unwrap().as_f64().unwrap();
     assert!(
