@@ -3,8 +3,9 @@
 //!
 //! The model's sigma-level quantiles become a continuous yield function;
 //! Cornish–Fisher extends the four-moment machinery to the 6σ coverage that
-//! rigorous sign-off wants, and golden MC validates the curve in the range
-//! sampling can reach.
+//! rigorous sign-off wants, and the `nsigma-yield` engine's graph-level
+//! Monte Carlo (parallel, seed-deterministic) validates the curve in the
+//! range sampling can reach.
 
 use nsigma_bench::{ps, Table};
 use nsigma_cells::cell::{Cell, CellKind};
@@ -13,12 +14,11 @@ use nsigma_core::extended::{cornish_fisher_quantile, YieldCurve};
 use nsigma_core::sta::{NsigmaTimer, TimerConfig};
 use nsigma_core::{MergeRule, TimingSession};
 use nsigma_mc::design::Design;
-use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::generators::arith::ripple_adder;
 use nsigma_netlist::mapping::map_to_cells;
 use nsigma_process::Technology;
-use nsigma_stats::moments::Moments;
 use nsigma_stats::quantile::SigmaLevel;
+use nsigma_yield::{YieldAnalysis, YieldConfig};
 
 fn main() {
     let tech = Technology::synthetic_28nm();
@@ -41,22 +41,23 @@ fn main() {
     cfg.char_samples = 4000;
     let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer");
 
-    let path = find_critical_path(&design).expect("path");
-    let session =
-        TimingSession::new(&timer, design.clone(), MergeRule::Pessimistic).expect("session");
-    let model = session.analyze_path(&path).expect("in-design path");
-    let curve = YieldCurve::new(&model.quantiles);
+    let session = TimingSession::new(&timer, design, MergeRule::Pessimistic).expect("session");
 
+    // 50k graph-level trials through the yield engine: the near-zero CI
+    // half-width disables early stopping, so the full sample budget runs
+    // (in parallel, bit-identical at any thread count).
     eprintln!("running 50k-sample golden MC for curve validation...");
-    let golden = simulate_path_mc(
-        &design,
-        &path,
-        &PathMcConfig {
-            samples: 50_000,
+    let run = session
+        .yield_run(&YieldConfig {
+            ci_half_width: 1e-9,
+            max_samples: 50_000,
+            chunk: 4096,
             seed: 0x11E1D,
-            input_slew: 10e-12,
-        },
-    );
+            ..YieldConfig::default()
+        })
+        .expect("yield run");
+    let report = &run.report;
+    let curve = YieldCurve::new(&report.analytic_quantiles);
 
     println!("== Extension: timing yield from the N-sigma quantiles ==\n");
     let mut t = Table::new(&["deadline (ps)", "model yield", "golden MC yield"]);
@@ -67,33 +68,31 @@ fn main() {
         SigmaLevel::PlusTwo,
         SigmaLevel::PlusThree,
     ] {
-        let deadline = golden.quantiles[lvl];
-        let mc_yield = golden.samples().iter().filter(|&&x| x <= deadline).count() as f64
-            / golden.len() as f64;
+        let deadline = report.mc_quantiles[lvl];
         t.row(&[
             ps(deadline),
             format!("{:.5}", curve.yield_at(deadline)),
-            format!("{mc_yield:.5}"),
+            format!("{:.5}", run.yield_at(deadline).value),
         ]);
     }
     println!("{}", t.render());
 
-    // ±6σ extension: Cornish–Fisher from the golden path moments vs the
+    // ±6σ extension: Cornish–Fisher from the sampled graph moments vs the
     // model's extrapolated curve.
-    let m = Moments::from_samples(golden.samples());
+    let m = &report.moments;
     println!("== ±6σ extension (Cornish–Fisher from the path moments) ==\n");
     let mut t = Table::new(&["level", "model curve (ps)", "Cornish-Fisher (ps)"]);
     for n in [4.0, 5.0, 6.0] {
         t.row(&[
             format!("+{n:.0}σ"),
             ps(curve.delay_at_yield(nsigma_stats::special::norm_cdf(n))),
-            ps(cornish_fisher_quantile(&m, n)),
+            ps(cornish_fisher_quantile(m, n)),
         ]);
     }
     println!("{}", t.render());
     println!(
         "sign-off margin 3σ→6σ: {} ps ({:.1}% over the +3σ deadline)",
         ps(curve.margin(3.0, 6.0)),
-        curve.margin(3.0, 6.0) / model.quantiles[SigmaLevel::PlusThree] * 100.0
+        curve.margin(3.0, 6.0) / report.analytic_quantiles[SigmaLevel::PlusThree] * 100.0
     );
 }

@@ -20,6 +20,7 @@
 //! | `ablation` | DESIGN.md §5 — term/calibration/wire ablations |
 //! | `voltage_sweep` | extension — accuracy across V_dd 0.5–0.8 V |
 //! | `yield_curve` | extension — timing yield + ±6σ Cornish–Fisher |
+//! | `yield_load` | `BENCH_yield.json` — IS tail efficiency + thread scaling |
 //! | `mc_convergence` | extension — ±3σ sampling noise vs sample count |
 //! | `make_library` | artifact generator — `.lib` + coefficient file |
 

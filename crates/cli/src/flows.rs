@@ -14,7 +14,8 @@ use nsigma_mc::path_sim::{find_critical_path, simulate_path_mc, PathMcConfig};
 use nsigma_netlist::verilog::parse_verilog;
 use nsigma_process::Technology;
 use nsigma_server::{Client, Server, ServerConfig};
-use nsigma_stats::quantile::SigmaLevel;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use nsigma_yield::{YieldAnalysis, YieldConfig, YieldReport, DEFAULT_IS_SHIFT};
 
 /// A flow error: argument, IO or domain problem, with a printable message.
 #[derive(Debug)]
@@ -201,6 +202,173 @@ pub fn run_mc(args: &Args) -> Result<String, FlowError> {
         golden.moments.kurtosis
     ));
     Ok(out)
+}
+
+/// Loads a design from `--iscas <name>` (a built-in ISCAS85 benchmark
+/// with generated parasitics) or, failing that, from `--verilog`
+/// (+ optional `--spef`) like [`load_design`].
+fn load_design_any(args: &Args, tech: &Technology) -> Result<Design, FlowError> {
+    use nsigma_netlist::generators::random_dag::Iscas85;
+    use nsigma_netlist::mapping::map_to_cells;
+
+    let Some(name) = args.get("iscas") else {
+        return load_design(args, tech);
+    };
+    let bench = Iscas85::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| err(format!("unknown ISCAS85 benchmark '{name}'")))?;
+    let lib = CellLibrary::standard();
+    let netlist = map_to_cells(&bench.generate(), &lib).map_err(err)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    Ok(Design::with_generated_parasitics(
+        tech.clone(),
+        lib,
+        netlist,
+        seed,
+    ))
+}
+
+/// `yield`: Monte-Carlo timing yield of a design at a clock period,
+/// scored against the analytic N-sigma model.
+///
+/// Options: `--coeff <file>` (required) plus a design from
+/// `--iscas <name>` or `--verilog <file.v>` [`--spef <file.spef>`];
+/// `--target-period <ps>` (default: the analytic +3σ quantile),
+/// `--ci <half-width>` (default 0.005), `--samples <n>` (default 20000),
+/// `--chunk <n>`, `--threads <n>` (0 = all cores), `--seed <n>`,
+/// `--importance` (mean-shifted sampling of the slow tail), `--json`
+/// (machine-readable report, stable for a fixed seed).
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] on bad arguments, IO failure, or an
+/// out-of-range sampling configuration.
+pub fn run_yield(args: &Args) -> Result<String, FlowError> {
+    let coeff_path = args.require("coeff")?;
+    let tech = Technology::synthetic_28nm();
+    let coeff_text = std::fs::read_to_string(coeff_path)?;
+    let timer = read_coefficients(&tech, &coeff_text).map_err(err)?;
+    let design = load_design_any(args, &tech)?;
+    let session = TimingSession::new(&timer, design, MergeRule::Pessimistic)?;
+
+    let samples = args.get_usize("samples", 20_000)?;
+    let cfg = YieldConfig {
+        target_period: match args.get("target-period") {
+            Some(_) => Some(args.get_f64("target-period", 0.0)? * 1e-12),
+            None => None,
+        },
+        ci_half_width: args.get_f64("ci", 0.005)?,
+        max_samples: samples,
+        chunk: args.get_usize("chunk", samples.clamp(1, 512))?,
+        threads: args.get_usize("threads", 0)?,
+        seed: args.get_usize("seed", 0x11E1D)? as u64,
+        importance: args.flag("importance").then_some(DEFAULT_IS_SHIFT),
+        ..YieldConfig::default()
+    };
+    let report = session.yield_analysis(&cfg)?;
+    Ok(if args.flag("json") {
+        yield_json(&report)
+    } else {
+        yield_text(&report)
+    })
+}
+
+/// Renders a yield report as one JSON object. Hand-rolled like the
+/// server's writer; `elapsed` is deliberately omitted so the output is
+/// byte-stable for a fixed seed (the CI smoke test compares two runs).
+fn yield_json(r: &YieldReport) -> String {
+    let quantiles = |q: &QuantileSet| {
+        let vals: Vec<String> = q.as_array().iter().map(|v| format!("{v}")).collect();
+        format!("[{}]", vals.join(","))
+    };
+    let curve: Vec<String> = r
+        .curve
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"period\":{},\"analytic_yield\":{},\"mc_yield\":{},\"ci_lo\":{},\"ci_hi\":{}}}",
+                p.period, p.analytic_yield, p.mc.value, p.mc.ci_lo, p.mc.ci_hi
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"target_period\":{},\"yield\":{},\"ci_lo\":{},\"ci_hi\":{},",
+            "\"ci_half_width\":{},\"converged\":{},\"samples\":{},\"ess\":{},",
+            "\"importance_shift\":{},\"analytic_yield\":{},",
+            "\"analytic_quantiles\":{},\"mc_quantiles\":{},\"curve\":[{}],",
+            "\"threads\":{}}}"
+        ),
+        r.target_period,
+        r.estimate.value,
+        r.estimate.ci_lo,
+        r.estimate.ci_hi,
+        r.estimate.half_width(),
+        r.converged,
+        r.samples,
+        r.ess,
+        r.importance_shift,
+        r.analytic_yield,
+        quantiles(&r.analytic_quantiles),
+        quantiles(&r.mc_quantiles),
+        curve.join(","),
+        r.threads
+    )
+}
+
+/// Renders a yield report for humans.
+fn yield_text(r: &YieldReport) -> String {
+    let mut out = format!(
+        "timing yield at T = {:.1} ps ({} trials, {} thread(s), {:.2?}):\n",
+        r.target_period * 1e12,
+        r.samples,
+        r.threads,
+        r.elapsed
+    );
+    out.push_str(&format!(
+        "  yield {:.5}  (95% CI [{:.5}, {:.5}], half-width {:.5}, {})\n",
+        r.estimate.value,
+        r.estimate.ci_lo,
+        r.estimate.ci_hi,
+        r.estimate.half_width(),
+        if r.converged {
+            "converged"
+        } else {
+            "sample cap"
+        }
+    ));
+    if r.importance_shift > 0.0 {
+        out.push_str(&format!(
+            "  importance sampling: shift {:.1}σ, ESS {:.1}\n",
+            r.importance_shift, r.ess
+        ));
+    }
+    out.push_str(&format!(
+        "  analytic model yield at T: {:.5}\n",
+        r.analytic_yield
+    ));
+    out.push_str("  level   analytic (ps)   MC (ps)\n");
+    for lvl in SigmaLevel::ALL {
+        out.push_str(&format!(
+            "  {lvl:>5}   {:13.1}   {:7.1}\n",
+            r.analytic_quantiles[lvl] * 1e12,
+            r.mc_quantiles[lvl] * 1e12
+        ));
+    }
+    out.push_str("  yield-vs-period curve:\n");
+    out.push_str("    period (ps)   analytic   MC [lo, hi]\n");
+    for p in &r.curve {
+        out.push_str(&format!(
+            "    {:11.1}   {:8.5}   {:.5} [{:.5}, {:.5}]\n",
+            p.period * 1e12,
+            p.analytic_yield,
+            p.mc.value,
+            p.mc.ci_lo,
+            p.mc.ci_hi
+        ));
+    }
+    out
 }
 
 /// `lint`: static analysis of a design (and optionally a model) without
@@ -425,6 +593,9 @@ USAGE:
                      [--spef <file.spef>] [--clock <ps>] [--paths K]
                      [--sdf <out.sdf>] [--seed N]
   nsigma-sta mc --verilog <file.v> [--spef <file.spef>] [--samples N] [--seed N]
+  nsigma-sta yield --coeff <coeff.txt> (--iscas <name> | --verilog <file.v> [--spef <file.spef>])
+                   [--target-period <ps>] [--ci <half-width>] [--samples N] [--chunk N]
+                   [--threads N] [--seed N] [--importance] [--json]
   nsigma-sta lint (--bench <file.bench> | --verilog <file.v> [--spef <file.spef>]
                    | --iscas <name> | --suite generated)
                   [--coeff <coeff.txt>] [--ndjson] [--seed N]
@@ -517,6 +688,51 @@ mod tests {
         let out = run_mc(&args).unwrap();
         assert!(out.contains("T(+3σ)"));
         assert!(out.contains("skewness"));
+    }
+
+    #[test]
+    fn yield_flow_json_is_seed_deterministic() {
+        let coeff = quick_coeff_file();
+        let args = argv(&format!(
+            "yield --coeff {coeff} --iscas c432 --samples 400 --chunk 100 --ci 0.05 --seed 9 --json"
+        ));
+        let out = run_yield(&args).unwrap();
+        for key in [
+            "\"yield\":",
+            "\"ci_lo\":",
+            "\"ci_hi\":",
+            "\"ci_half_width\":",
+            "\"samples\":",
+            "\"ess\":",
+            "\"curve\":",
+            "\"analytic_quantiles\":",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert_eq!(out, run_yield(&args).unwrap(), "fixed seed must repeat");
+    }
+
+    #[test]
+    fn yield_flow_human_report_with_importance() {
+        let coeff = quick_coeff_file();
+        let v = quick_verilog_file();
+        let args = argv(&format!(
+            "yield --coeff {coeff} --verilog {v} --samples 400 --chunk 100 --ci 0.05 --importance"
+        ));
+        let out = run_yield(&args).unwrap();
+        assert!(out.contains("timing yield at T ="), "{out}");
+        assert!(out.contains("ESS"), "{out}");
+        assert!(out.contains("yield-vs-period curve"), "{out}");
+    }
+
+    #[test]
+    fn yield_flow_rejects_bad_inputs() {
+        let coeff = quick_coeff_file();
+        let e =
+            run_yield(&argv(&format!("yield --coeff {coeff} --iscas c432 --ci 0"))).unwrap_err();
+        assert!(e.to_string().contains("ci_half_width"), "{e}");
+        assert!(run_yield(&argv(&format!("yield --coeff {coeff} --iscas c17"))).is_err());
+        assert!(run_yield(&argv("yield --iscas c432")).is_err()); // no --coeff
     }
 
     #[test]

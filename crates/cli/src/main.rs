@@ -11,7 +11,9 @@ mod args;
 mod flows;
 
 use args::Args;
-use flows::{run_analyze, run_characterize, run_lint, run_mc, run_query, run_serve, usage};
+use flows::{
+    run_analyze, run_characterize, run_lint, run_mc, run_query, run_serve, run_yield, usage,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +28,7 @@ fn main() {
         "characterize" => run_characterize(&parsed),
         "analyze" => run_analyze(&parsed),
         "mc" => run_mc(&parsed),
+        "yield" => run_yield(&parsed),
         "lint" => run_lint(&parsed),
         "serve" => run_serve(&parsed),
         "query" => run_query(&parsed),

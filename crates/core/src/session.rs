@@ -63,6 +63,19 @@ pub enum QueryError {
         /// How many paths the design actually has.
         available: usize,
     },
+    /// A query configuration parameter is out of range (e.g. a yield run
+    /// with a non-positive confidence target or a zero sample cap).
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
+    /// An engine-side failure that is a bug rather than a caller mistake
+    /// (e.g. a sampling worker thread panicked). Reported instead of
+    /// propagating the panic so daemon request loops stay alive.
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl QueryError {
@@ -75,6 +88,8 @@ impl QueryError {
             QueryError::UnknownGate { .. } => "not_found",
             QueryError::UnknownStrength { .. } => "bad_request",
             QueryError::NoSuchPath { .. } => "not_found",
+            QueryError::InvalidConfig { .. } => "bad_request",
+            QueryError::Internal { .. } => "internal",
         }
     }
 }
@@ -92,6 +107,12 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::NoSuchPath { rank, available } => {
                 write!(f, "no path of rank {rank} (design has {available})")
+            }
+            QueryError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            QueryError::Internal { reason } => {
+                write!(f, "internal engine failure: {reason}")
             }
         }
     }

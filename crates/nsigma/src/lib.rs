@@ -22,7 +22,9 @@
 //!   comparison methods;
 //! * [`lint`] — static analysis of netlists, parasitics, library coverage
 //!   and model stores, with stable diagnostic codes that gate the CLI and
-//!   the server before any timing query runs.
+//!   the server before any timing query runs;
+//! * [`yield_engine`] — parallel, importance-sampled Monte-Carlo timing
+//!   yield over the compiled graph, with confidence-bounded stopping.
 //!
 //! # Examples
 //!
@@ -63,3 +65,4 @@ pub use nsigma_mc as mc;
 pub use nsigma_netlist as netlist;
 pub use nsigma_process as process;
 pub use nsigma_stats as stats;
+pub use nsigma_yield as yield_engine;

@@ -97,16 +97,42 @@ impl VariationModel {
     /// Mobility and wire R/C multipliers are log-normal (always positive);
     /// the threshold shift is Gaussian.
     pub fn sample_global<R: Rng + ?Sized>(&self, rng: &mut R) -> GlobalSample {
-        let dvth = self.global_vth_sigma * standard_normal(rng);
+        self.sample_global_shifted(rng, 0.0).0
+    }
+
+    /// Draws one global corner with the threshold-voltage deviate
+    /// mean-shifted by `shift` standard deviations, returning the corner
+    /// and the shifted-measure deviate `z` (so `dvth = sigma_vth · z`).
+    ///
+    /// This is the proposal distribution of ISLE-style importance
+    /// sampling: the caller reweights each trial by the Gaussian
+    /// likelihood ratio `exp(-shift·z + shift²/2)`. With `shift = 0` the
+    /// draw is identical to [`VariationModel::sample_global`].
+    pub fn sample_global_shifted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shift: f64,
+    ) -> (GlobalSample, f64) {
+        let z = standard_normal(rng) + shift;
+        let dvth = self.global_vth_sigma * z;
         let mobility = lognormal_factor(rng, self.global_mobility_sigma);
         let wire_res_scale = lognormal_factor(rng, self.wire_res_global_sigma);
         let wire_cap_scale = lognormal_factor(rng, self.wire_cap_global_sigma);
-        GlobalSample {
-            dvth,
-            mobility,
-            wire_res_scale,
-            wire_cap_scale,
-        }
+        (
+            GlobalSample {
+                dvth,
+                mobility,
+                wire_res_scale,
+                wire_cap_scale,
+            },
+            z,
+        )
+    }
+
+    /// Global threshold-voltage sigma (V) — the scale of the parameter the
+    /// importance sampler shifts.
+    pub fn global_vth_sigma(&self) -> f64 {
+        self.global_vth_sigma
     }
 
     /// Draws a local V_th mismatch deviate with the given sigma (V).
@@ -173,6 +199,37 @@ mod tests {
         );
         assert!((mm.std - tech.global_mobility_sigma).abs() / tech.global_mobility_sigma < 0.05);
         assert!(mob.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn shifted_global_matches_plain_at_zero_shift() {
+        let tech = Technology::synthetic_28nm();
+        let m = VariationModel::new(&tech);
+        let mut a = SmallRng::seed_from_u64(21);
+        let mut b = SmallRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let plain = m.sample_global(&mut a);
+            let (shifted, z) = m.sample_global_shifted(&mut b, 0.0);
+            assert_eq!(plain, shifted);
+            assert_eq!(plain.dvth, tech.global_vth_sigma * z);
+        }
+    }
+
+    #[test]
+    fn shifted_global_moves_the_vth_mean() {
+        let tech = Technology::synthetic_28nm();
+        let m = VariationModel::new(&tech);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let shift = 3.0;
+        let n = 50_000;
+        let mut sum_z = 0.0;
+        for _ in 0..n {
+            let (g, z) = m.sample_global_shifted(&mut rng, shift);
+            assert_eq!(g.dvth, tech.global_vth_sigma * z);
+            sum_z += z;
+        }
+        let mean_z = sum_z / n as f64;
+        assert!((mean_z - shift).abs() < 0.02, "mean z = {mean_z}");
     }
 
     #[test]

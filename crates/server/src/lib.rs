@@ -25,6 +25,8 @@
 //! < {"ok":true,"design":"c432","path":0,"sigma":4.5,"delay":1.23e-9}
 //! > {"cmd":"eco_resize","design":"c432","gate":"g17","strength":8}
 //! < {"ok":true,"design":"c432","gate":"g17","strength":8,"recomputed_gates":9,"worst_quantiles":[...]}
+//! > {"cmd":"yield_design","design":"c432","ci":0.005,"importance":true}
+//! < {"ok":true,"design":"c432","yield":0.9984,"ci_lo":...,"ci_hi":...,"converged":true,"samples":2048,"ess":...,"curve":[...]}
 //! ```
 //!
 //! Design notes:
@@ -40,6 +42,12 @@
 //! * **Graceful shutdown.** The listener stops accepting, connections
 //!   finish their in-flight request, and the worker pool drains everything
 //!   already queued before the process exits.
+//! * **Monte-Carlo yield on demand.** `yield_design` runs the
+//!   `nsigma-yield` engine — parallel graph-level sampling, optional
+//!   mean-shifted importance sampling, confidence-bounded stopping —
+//!   against a registered session, and the `stats` endpoint reports the
+//!   cumulative trials drawn (`yield_samples_drawn`) next to the
+//!   per-endpoint request counters.
 //! * **Linted registration.** `register_design` runs the `nsigma-lint`
 //!   static-analysis pass and rejects designs carrying error-severity
 //!   findings with a typed `lint_failed` error naming the diagnostic

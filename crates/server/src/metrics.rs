@@ -10,12 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Endpoints tracked individually, in display order.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 9] = [
     "register_design",
     "lint_design",
     "analyze_path",
     "worst_paths",
     "quantile",
+    "yield_design",
     "eco_resize",
     "stats",
     "shutdown",

@@ -10,8 +10,8 @@
 //!           | { "ok": false, "code": <error-code>, "error": <message> } "\n"
 //!
 //! endpoint := "register_design" | "lint_design" | "analyze_path"
-//!           | "worst_paths" | "quantile" | "eco_resize" | "stats"
-//!           | "shutdown"
+//!           | "worst_paths" | "quantile" | "yield_design" | "eco_resize"
+//!           | "stats" | "shutdown"
 //! error-code := "bad_request" | "not_found" | "unknown_cell"
 //!             | "overloaded" | "deadline" | "lint_failed" | "internal"
 //! ```
@@ -21,6 +21,13 @@
 //! the server's timer holds no calibration for. The other query errors map
 //! onto `bad_request` (empty design, unknown strength) and `not_found`
 //! (unknown gate, path rank past the ranked-path count).
+//!
+//! `yield_design` runs the Monte-Carlo yield engine of `nsigma-yield`
+//! against a registered design: `"target_period"` (seconds; defaults to
+//! the analytic +3σ quantile), `"ci"` (95 % half-width target, default
+//! 0.005), `"importance"` (boolean, default `false` — enables the
+//! mean-shifted sampler), `"samples"` (hard cap, default 65536) and
+//! `"seed"`.
 //!
 //! `register_design` lints the generated design before admitting it and
 //! answers `lint_failed` (listing the offending diagnostic codes) when
@@ -71,6 +78,22 @@ pub enum Request {
         /// Table I outputs, others interpolate the yield curve.
         sigma: f64,
     },
+    /// Monte-Carlo timing yield of a registered design.
+    YieldDesign {
+        /// Design name.
+        design: String,
+        /// Clock period (s) to estimate yield at; `None` targets the
+        /// analytic +3σ quantile.
+        target_period: Option<f64>,
+        /// Requested 95 % confidence half-width on the yield.
+        ci: f64,
+        /// Use the mean-shifted importance sampler.
+        importance: bool,
+        /// Hard sample cap.
+        samples: usize,
+        /// Master RNG seed.
+        seed: u64,
+    },
     /// Resize a gate through the incremental timer.
     EcoResize {
         /// Design name.
@@ -118,6 +141,7 @@ impl Request {
             Request::AnalyzePath { .. } => "analyze_path",
             Request::WorstPaths { .. } => "worst_paths",
             Request::Quantile { .. } => "quantile",
+            Request::YieldDesign { .. } => "yield_design",
             Request::EcoResize { .. } => "eco_resize",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
@@ -241,6 +265,40 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .filter(|s| s.is_finite())
                 .ok_or(ProtoError::BadField("sigma"))?,
         }),
+        "yield_design" => {
+            let target_period = v
+                .get("target_period")
+                .map(|f| {
+                    f.as_f64()
+                        .filter(|t| t.is_finite() && *t > 0.0)
+                        .ok_or(ProtoError::BadField("target_period"))
+                })
+                .transpose()?;
+            let ci = match v.get("ci") {
+                None => 0.005,
+                Some(f) => f
+                    .as_f64()
+                    .filter(|c| c.is_finite() && *c > 0.0)
+                    .ok_or(ProtoError::BadField("ci"))?,
+            };
+            let importance = match v.get("importance") {
+                None => false,
+                Some(f) => f.as_bool().ok_or(ProtoError::BadField("importance"))?,
+            };
+            let seed = v
+                .get("seed")
+                .map(|s| s.as_u64().ok_or(ProtoError::BadField("seed")))
+                .transpose()?
+                .unwrap_or(0x11E1D);
+            Ok(Request::YieldDesign {
+                design: str_field(&v, "design")?,
+                target_period,
+                ci,
+                importance,
+                samples: usize_field(&v, "samples", Some(65_536))?,
+                seed,
+            })
+        }
         "eco_resize" => {
             let strength = usize_field(&v, "strength", None)?;
             if strength == 0 || strength > u32::MAX as usize {
@@ -307,6 +365,20 @@ mod tests {
                 design: "d".into(),
                 gate: "g7".into(),
                 strength: 8
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"yield_design","design":"d","target_period":2.5e-10,"ci":0.01,"importance":true,"samples":2048,"seed":7}"#
+            )
+            .unwrap(),
+            Request::YieldDesign {
+                design: "d".into(),
+                target_period: Some(2.5e-10),
+                ci: 0.01,
+                importance: true,
+                samples: 2048,
+                seed: 7
             }
         );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
@@ -393,6 +465,17 @@ mod tests {
                 sigma: -4.0
             }
         );
+        assert_eq!(
+            parse_request(r#"{"cmd":"yield_design","design":"d"}"#).unwrap(),
+            Request::YieldDesign {
+                design: "d".into(),
+                target_period: None,
+                ci: 0.005,
+                importance: false,
+                samples: 65_536,
+                seed: 0x11E1D
+            }
+        );
     }
 
     #[test]
@@ -434,6 +517,19 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"cmd":"register_design","name":"x","gates":10}"#).unwrap_err(),
             ProtoError::BadField("inputs")
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"yield_design","design":"d","ci":0}"#).unwrap_err(),
+            ProtoError::BadField("ci")
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"yield_design","design":"d","target_period":-1.0}"#)
+                .unwrap_err(),
+            ProtoError::BadField("target_period")
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"yield_design","design":"d","importance":"yes"}"#).unwrap_err(),
+            ProtoError::BadField("importance")
         );
     }
 

@@ -34,11 +34,12 @@ use nsigma_netlist::mapping::map_to_cells;
 use nsigma_netlist::Path;
 use nsigma_process::Technology;
 use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use nsigma_yield::{CurvePoint, YieldAnalysis, YieldConfig, DEFAULT_IS_SHIFT};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
@@ -97,6 +98,8 @@ pub struct Engine {
     pub metrics: Metrics,
     deadline: Duration,
     lint_on_register: bool,
+    /// Cumulative Monte-Carlo trials drawn by `yield_design` requests.
+    yield_samples: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
     threads: usize,
@@ -119,6 +122,7 @@ impl Engine {
             metrics: Metrics::new(),
             deadline: cfg.deadline,
             lint_on_register: cfg.lint_on_register,
+            yield_samples: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             threads: cfg.threads,
@@ -201,6 +205,14 @@ impl Engine {
                 path,
                 sigma,
             } => self.quantile(&design, path, sigma),
+            Request::YieldDesign {
+                design,
+                target_period,
+                ci,
+                importance,
+                samples,
+                seed,
+            } => self.yield_design(&design, target_period, ci, importance, samples, seed),
             Request::EcoResize {
                 design,
                 gate,
@@ -363,6 +375,52 @@ impl Engine {
         ])
     }
 
+    fn yield_design(
+        &self,
+        design: &str,
+        target_period: Option<f64>,
+        ci: f64,
+        importance: bool,
+        samples: usize,
+        seed: u64,
+    ) -> ExecResult {
+        let slot = self.lookup(design)?;
+        let session = slot.read().unwrap_or_else(PoisonError::into_inner);
+        let cfg = YieldConfig {
+            target_period,
+            ci_half_width: ci,
+            max_samples: samples,
+            chunk: samples.min(YieldConfig::default().chunk),
+            importance: importance.then_some(DEFAULT_IS_SHIFT),
+            seed,
+            ..YieldConfig::default()
+        };
+        let report = session.yield_analysis(&cfg).map_err(query_err)?;
+        self.yield_samples
+            .fetch_add(report.samples as u64, Ordering::Relaxed);
+        Ok(vec![
+            ("design", Value::Str(design.to_string())),
+            ("target_period", Value::Num(report.target_period)),
+            ("yield", Value::Num(report.estimate.value)),
+            ("ci_lo", Value::Num(report.estimate.ci_lo)),
+            ("ci_hi", Value::Num(report.estimate.ci_hi)),
+            ("ci_half_width", Value::Num(report.estimate.half_width())),
+            ("converged", Value::Bool(report.converged)),
+            ("samples", Value::Num(report.samples as f64)),
+            ("ess", Value::Num(report.ess)),
+            ("importance", Value::Bool(importance)),
+            ("importance_shift", Value::Num(report.importance_shift)),
+            ("analytic_yield", Value::Num(report.analytic_yield)),
+            (
+                "analytic_quantiles",
+                quantiles_json(&report.analytic_quantiles),
+            ),
+            ("mc_quantiles", quantiles_json(&report.mc_quantiles)),
+            ("curve", curve_json(&report.curve)),
+            ("threads", Value::Num(report.threads as f64)),
+        ])
+    }
+
     fn eco_resize(&self, design: &str, gate: &str, strength: u32) -> ExecResult {
         let slot = self.lookup(design)?;
         let mut session = slot.write().unwrap_or_else(PoisonError::into_inner);
@@ -412,6 +470,10 @@ impl Engine {
             ("uptime_s", Value::Num(self.started.elapsed().as_secs_f64())),
             ("threads", Value::Num(self.threads as f64)),
             ("designs", Value::Num(self.store.len() as f64)),
+            (
+                "yield_samples_drawn",
+                Value::Num(self.yield_samples.load(Ordering::Relaxed) as f64),
+            ),
             ("queue_depth", Value::Num(depth as f64)),
             ("queue_capacity", Value::Num(capacity as f64)),
             (
@@ -506,6 +568,24 @@ fn diagnostics_json(report: &nsigma_lint::LintReport) -> Value {
 /// local timer.
 fn quantiles_json(q: &QuantileSet) -> Value {
     Value::Arr(q.as_array().iter().map(|&x| Value::Num(x)).collect())
+}
+
+/// The yield-vs-period curve as a JSON array of per-level objects.
+fn curve_json(curve: &[CurvePoint]) -> Value {
+    Value::Arr(
+        curve
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("period".to_string(), Value::Num(p.period)),
+                    ("analytic_yield".to_string(), Value::Num(p.analytic_yield)),
+                    ("mc_yield".to_string(), Value::Num(p.mc.value)),
+                    ("ci_lo".to_string(), Value::Num(p.mc.ci_lo)),
+                    ("ci_hi".to_string(), Value::Num(p.mc.ci_hi)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn path_gates_json(design: &Design, path: &Path) -> Value {

@@ -1,0 +1,143 @@
+//! Run parameters of a yield-engine invocation, with typed validation.
+
+use nsigma_core::QueryError;
+
+/// The default mean shift (in units of the global V_th sigma) used when a
+/// caller asks for importance sampling without picking a shift. Three
+/// sigma centers the proposal on the 99.86 % tail the paper's sign-off
+/// quantile lives at.
+pub const DEFAULT_IS_SHIFT: f64 = 3.0;
+
+/// Configuration of one yield-engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldConfig {
+    /// Clock period to estimate yield at (s). `None` targets the analytic
+    /// +3σ graph quantile — the paper's 99.86 % sign-off point.
+    pub target_period: Option<f64>,
+    /// Requested 95 % confidence half-width on the yield estimate; the
+    /// run stops as soon as the interval is at least this tight.
+    pub ci_half_width: f64,
+    /// Hard cap on the number of Monte-Carlo trials.
+    pub max_samples: usize,
+    /// Trials per stopping-rule check (and per parallel dispatch).
+    pub chunk: usize,
+    /// Worker threads; 0 uses the machine's available parallelism.
+    pub threads: usize,
+    /// Master seed. Trial `t` always consumes counter-based stream `t`,
+    /// so results are independent of `threads` and `chunk`.
+    pub seed: u64,
+    /// Importance-sampling mean shift in global-V_th sigmas (`None` =
+    /// plain Monte Carlo). See [`DEFAULT_IS_SHIFT`].
+    pub importance: Option<f64>,
+    /// Transition time at the primary inputs (s).
+    pub input_slew: f64,
+}
+
+impl Default for YieldConfig {
+    fn default() -> Self {
+        Self {
+            target_period: None,
+            ci_half_width: 0.005,
+            max_samples: 65_536,
+            chunk: 512,
+            threads: 0,
+            seed: 0x11E1D,
+            importance: None,
+            input_slew: 10e-12,
+        }
+    }
+}
+
+impl YieldConfig {
+    /// The effective mean shift: 0 for plain Monte Carlo.
+    pub fn shift(&self) -> f64 {
+        self.importance.unwrap_or(0.0)
+    }
+
+    /// Checks every parameter, returning
+    /// [`QueryError::InvalidConfig`] with a human-readable reason on the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        let bad = |reason: String| Err(QueryError::InvalidConfig { reason });
+        if !(self.ci_half_width.is_finite() && self.ci_half_width > 0.0) {
+            return bad(format!(
+                "ci_half_width must be a positive number, got {}",
+                self.ci_half_width
+            ));
+        }
+        if self.chunk == 0 {
+            return bad("chunk must be at least 1".into());
+        }
+        if self.max_samples < self.chunk {
+            return bad(format!(
+                "max_samples ({}) must be at least one chunk ({})",
+                self.max_samples, self.chunk
+            ));
+        }
+        if let Some(t) = self.target_period {
+            if !(t.is_finite() && t > 0.0) {
+                return bad(format!("target_period must be a positive time, got {t}"));
+            }
+        }
+        if let Some(s) = self.importance {
+            if !(s.is_finite() && s > 0.0 && s <= 8.0) {
+                return bad(format!(
+                    "importance shift must be in (0, 8] sigmas, got {s}"
+                ));
+            }
+        }
+        if !(self.input_slew.is_finite() && self.input_slew >= 0.0) {
+            return bad(format!(
+                "input_slew must be a non-negative time, got {}",
+                self.input_slew
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(YieldConfig::default().validate().is_ok());
+        assert_eq!(YieldConfig::default().shift(), 0.0);
+    }
+
+    #[test]
+    fn bad_parameters_are_typed_errors() {
+        let cases = [
+            YieldConfig {
+                ci_half_width: 0.0,
+                ..YieldConfig::default()
+            },
+            YieldConfig {
+                chunk: 0,
+                ..YieldConfig::default()
+            },
+            YieldConfig {
+                max_samples: 10,
+                chunk: 100,
+                ..YieldConfig::default()
+            },
+            YieldConfig {
+                target_period: Some(-1e-9),
+                ..YieldConfig::default()
+            },
+            YieldConfig {
+                importance: Some(0.0),
+                ..YieldConfig::default()
+            },
+            YieldConfig {
+                input_slew: f64::NAN,
+                ..YieldConfig::default()
+            },
+        ];
+        for cfg in cases {
+            let err = cfg.validate().expect_err("must be rejected");
+            assert_eq!(err.code(), "bad_request", "{err}");
+        }
+    }
+}

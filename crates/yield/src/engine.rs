@@ -1,0 +1,665 @@
+//! The sampling core: parallel, chunked, confidence-bounded graph-level
+//! Monte Carlo over a [`CompiledDesign`].
+//!
+//! Each trial replays the golden per-stage physics of
+//! `nsigma_mc::path_sim::simulate_circuit_mc` — one shared die corner,
+//! per-gate local mismatch, the driver's threshold sample reused by its
+//! output wire — but walks the compiled CSR adjacency with reusable
+//! scratch arenas instead of re-deriving loads and parasitics per trial.
+//! Trial `t` always draws from counter-based stream `t`
+//! ([`CounterRng`]), so the result vector is bit-identical at any thread
+//! count or chunk schedule.
+
+use crate::config::YieldConfig;
+use crate::importance::{likelihood_ratio, WeightTally};
+use crate::report::{CurvePoint, YieldEstimate, YieldReport};
+use crate::stopping::Z95;
+use nsigma_cells::timing::evaluate_arc_pair;
+use nsigma_cells::Cell;
+use nsigma_core::{CompiledDesign, QueryError, QueryScratch, YieldCurve};
+use nsigma_core::{MergeRule, NsigmaTimer};
+use nsigma_interconnect::rctree::RcTree;
+use nsigma_mc::wire_sim::{sample_wire, WireGoldenMode};
+use nsigma_mc::Design;
+use nsigma_netlist::topo::NetlistCsr;
+use nsigma_process::{Technology, VariationModel};
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::{QuantileSet, SigmaLevel};
+use nsigma_stats::rng::CounterRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// A finished run: the summary [`YieldReport`] plus the raw per-trial
+/// samples, for callers (the experiment binaries) that evaluate the
+/// empirical yield at their own thresholds.
+#[derive(Debug, Clone)]
+pub struct YieldRun {
+    /// The summary report.
+    pub report: YieldReport,
+    delays: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl YieldRun {
+    /// Per-trial worst-PO delays (s), in trial order.
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Per-trial importance weights (all 1 for plain MC), in trial order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The empirical yield estimate at an arbitrary deadline, from the
+    /// stored samples.
+    pub fn yield_at(&self, period: f64) -> YieldEstimate {
+        let weighted = self.report.importance_shift > 0.0;
+        threshold_estimate(&self.delays, &self.weights, period, weighted)
+    }
+}
+
+/// Per-gate and per-net model data hoisted out of the per-trial loop:
+/// everything [`sample_once`] needs, as dense parallel arrays.
+struct Prep<'a> {
+    tech: &'a Technology,
+    variation: VariationModel,
+    input_slew: f64,
+    shift: f64,
+    /// Library cell per gate.
+    cells: Vec<&'a Cell>,
+    /// Pull-down / pull-up effective local sigmas per gate.
+    sigma_pd: Vec<f64>,
+    sigma_pu: Vec<f64>,
+    /// Output load when the gate's net has no parasitic tree.
+    fallback_cap: Vec<f64>,
+    /// Parasitic tree per net (`None` for wireless / PI nets).
+    trees: Vec<Option<&'a RcTree>>,
+    /// CSR offsets into `loads` / `scales`, length `nets + 1`.
+    loads_start: Vec<u32>,
+    /// Load cells of every wired net, flattened in sink order.
+    loads: Vec<&'a Cell>,
+    /// Golden per-sink delay scale, parallel to `loads`.
+    scales: Vec<f64>,
+    /// Gate-driven primary-output nets (PI-fed POs contribute 0).
+    po_nets: Vec<u32>,
+}
+
+impl<'a> Prep<'a> {
+    fn build(design: &'a Design, cfg: &YieldConfig) -> Self {
+        let tech = &design.tech;
+        let n = design.netlist.num_gates();
+        let nets = design.netlist.num_nets();
+
+        let mut cells = Vec::with_capacity(n);
+        let mut sigma_pd = Vec::with_capacity(n);
+        let mut sigma_pu = Vec::with_capacity(n);
+        let mut fallback_cap = Vec::with_capacity(n);
+        for gate in design.netlist.gates() {
+            let cell = design.lib.cell(gate.cell);
+            let (pd, pu) = cell.arc_stacks();
+            cells.push(cell);
+            sigma_pd.push(pd.effective_local_sigma(tech));
+            sigma_pu.push(pu.effective_local_sigma(tech));
+            fallback_cap.push(cell.output_parasitic(tech));
+        }
+
+        let mut trees = Vec::with_capacity(nets);
+        let mut loads_start = Vec::with_capacity(nets + 1);
+        let mut loads = Vec::new();
+        let mut scales = Vec::new();
+        loads_start.push(0u32);
+        for idx in 0..nets {
+            let net = nsigma_netlist::NetId::from_index(idx);
+            let tree = design.parasitic(net).filter(|t| !t.sinks().is_empty());
+            if let Some(tree) = tree {
+                let net_loads = design.load_cells(net);
+                match design.wire_golden_scale(net) {
+                    Some(sc) => scales.extend_from_slice(sc),
+                    None => scales.extend(std::iter::repeat_n(1.0, tree.sinks().len())),
+                }
+                loads.extend(net_loads);
+            }
+            trees.push(tree);
+            loads_start.push(scales.len() as u32);
+        }
+
+        let po_nets = design
+            .netlist
+            .outputs()
+            .iter()
+            .filter(|&&o| {
+                matches!(
+                    design.netlist.net(o).driver,
+                    nsigma_netlist::NetDriver::Gate(_)
+                )
+            })
+            .map(|o| o.index() as u32)
+            .collect();
+
+        Self {
+            tech,
+            variation: VariationModel::new(tech),
+            input_slew: cfg.input_slew,
+            shift: cfg.shift(),
+            cells,
+            sigma_pd,
+            sigma_pu,
+            fallback_cap,
+            trees,
+            loads_start,
+            loads,
+            scales,
+            po_nets,
+        }
+    }
+}
+
+/// Per-worker arenas, reused across every trial the worker runs.
+#[derive(Default)]
+struct Scratch {
+    arrival: Vec<f64>,
+    slew: Vec<f64>,
+    dloc: Vec<f64>,
+    dloc_rise: Vec<f64>,
+}
+
+/// One trial: draws the (possibly shifted) die corner and all local
+/// mismatch, propagates arrivals over the CSR order, and returns
+/// `(worst PO delay, importance weight)`.
+fn sample_once<R: Rng + ?Sized>(
+    prep: &Prep<'_>,
+    csr: &NetlistCsr,
+    scratch: &mut Scratch,
+    rng: &mut R,
+) -> (f64, f64) {
+    let (global, z) = prep.variation.sample_global_shifted(rng, prep.shift);
+    let w = likelihood_ratio(z, prep.shift);
+
+    let gates = prep.cells.len();
+    scratch.dloc.clear();
+    scratch.dloc_rise.clear();
+    for gi in 0..gates {
+        scratch
+            .dloc
+            .push(prep.variation.sample_local_vth(rng, prep.sigma_pd[gi]));
+        scratch
+            .dloc_rise
+            .push(prep.variation.sample_local_vth(rng, prep.sigma_pu[gi]));
+    }
+
+    let nets = prep.trees.len();
+    scratch.arrival.clear();
+    scratch.arrival.resize(nets, 0.0);
+    scratch.slew.clear();
+    scratch.slew.resize(nets, prep.input_slew);
+
+    for &g in &csr.order {
+        let gi = g.index();
+        let net = csr.gate_output[gi] as usize;
+        let cell = prep.cells[gi];
+
+        let mut in_arrival = 0.0f64;
+        let mut in_slew = prep.input_slew;
+        for &i in csr.fanins(gi) {
+            let a = scratch.arrival[i as usize];
+            if a > in_arrival {
+                in_arrival = a;
+                in_slew = scratch.slew[i as usize];
+            }
+        }
+
+        let (sink_lag, load_cap) = match prep.trees[net] {
+            Some(tree) => {
+                let s0 = prep.loads_start[net] as usize;
+                let s1 = prep.loads_start[net + 1] as usize;
+                let ws = sample_wire(
+                    prep.tech,
+                    &prep.variation,
+                    tree,
+                    cell,
+                    &prep.loads[s0..s1],
+                    in_slew,
+                    &global,
+                    scratch.dloc[gi],
+                    rng,
+                    WireGoldenMode::TwoPole,
+                );
+                let lag = ws
+                    .delays
+                    .iter()
+                    .zip(&prep.scales[s0..s1])
+                    .map(|(d, s)| d * s)
+                    .fold(0.0f64, f64::max);
+                (lag, ws.c_eff)
+            }
+            None => (0.0, prep.fallback_cap[gi]),
+        };
+
+        let arc = evaluate_arc_pair(
+            prep.tech,
+            cell,
+            in_slew,
+            load_cap,
+            global.dvth + scratch.dloc[gi],
+            global.dvth + scratch.dloc_rise[gi],
+            global.mobility,
+        );
+        scratch.arrival[net] = in_arrival + arc.delay + sink_lag;
+        scratch.slew[net] = (arc.output_slew + 2.0 * sink_lag).max(0.0);
+    }
+
+    let delay = prep
+        .po_nets
+        .iter()
+        .map(|&o| scratch.arrival[o as usize])
+        .fold(0.0f64, f64::max);
+    (delay, w)
+}
+
+/// Runs the yield engine against a compiled design.
+///
+/// See the crate docs for the sampling, importance and stopping design;
+/// [`crate::YieldAnalysis`] is the ergonomic entry point.
+///
+/// # Errors
+///
+/// * [`QueryError::InvalidConfig`] — out-of-range configuration.
+/// * [`QueryError::EmptyDesign`] — gateless design.
+/// * [`QueryError::Internal`] — a sampling worker panicked (a bug, not a
+///   caller mistake).
+pub fn run_yield(
+    timer: &NsigmaTimer,
+    compiled: &CompiledDesign,
+    rule: MergeRule,
+    cfg: &YieldConfig,
+) -> Result<YieldRun, QueryError> {
+    cfg.validate()?;
+    let design = compiled.design();
+    if design.netlist.num_gates() == 0 {
+        return Err(QueryError::EmptyDesign);
+    }
+
+    let analytic = compiled.analyze_design_with(timer, rule, &mut QueryScratch::new());
+    let target = cfg.target_period.unwrap_or(analytic[SigmaLevel::PlusThree]);
+    if !(target.is_finite() && target > 0.0) {
+        return Err(QueryError::InvalidConfig {
+            reason: format!("derived target period {target} is not a positive time"),
+        });
+    }
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+
+    let prep = Prep::build(design, cfg);
+    let csr = compiled.csr();
+    let weighted = prep.shift > 0.0;
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::default()).collect();
+
+    let start = Instant::now();
+    let mut delays: Vec<f64> = Vec::with_capacity(cfg.chunk);
+    let mut weights: Vec<f64> = Vec::with_capacity(cfg.chunk);
+    let mut tally = WeightTally::default();
+    let mut buf: Vec<(f64, f64)> = Vec::new();
+    let mut converged = false;
+
+    while delays.len() < cfg.max_samples {
+        let this_chunk = cfg.chunk.min(cfg.max_samples - delays.len());
+        let base = delays.len();
+        buf.clear();
+        buf.resize(this_chunk, (0.0, 0.0));
+
+        let workers = threads.min(this_chunk);
+        let per = this_chunk.div_ceil(workers);
+        let scope_result = crossbeam::scope(|scope| {
+            for (wi, (chunk, scratch)) in buf.chunks_mut(per).zip(scratches.iter_mut()).enumerate()
+            {
+                let prep = &prep;
+                scope.spawn(move |_| {
+                    for (i, out) in chunk.iter_mut().enumerate() {
+                        let trial = base + wi * per + i;
+                        let mut rng = CounterRng::new(cfg.seed, trial as u64);
+                        *out = sample_once(prep, csr, scratch, &mut rng);
+                    }
+                });
+            }
+        });
+        if scope_result.is_err() {
+            return Err(QueryError::Internal {
+                reason: "a yield sampling worker panicked".into(),
+            });
+        }
+
+        for &(d, w) in &buf {
+            delays.push(d);
+            weights.push(w);
+            tally.push(w, d > target);
+        }
+
+        let interval = tally.yield_interval(weighted, Z95);
+        if interval.half_width() <= cfg.ci_half_width {
+            converged = true;
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let interval = tally.yield_interval(weighted, Z95);
+    let estimate = YieldEstimate {
+        value: interval.estimate,
+        ci_lo: interval.lo,
+        ci_hi: interval.hi,
+    };
+    let mc_quantiles = weighted_quantiles(&delays, &weights);
+    let curve = SigmaLevel::ALL
+        .iter()
+        .map(|&lvl| CurvePoint {
+            period: analytic[lvl],
+            analytic_yield: lvl.probability(),
+            mc: threshold_estimate(&delays, &weights, analytic[lvl], weighted),
+        })
+        .collect();
+
+    let report = YieldReport {
+        target_period: target,
+        analytic_quantiles: analytic,
+        analytic_yield: analytic_yield_at(&analytic, target),
+        estimate,
+        converged,
+        samples: delays.len(),
+        ess: tally.ess(),
+        importance_shift: prep.shift,
+        mc_quantiles,
+        moments: weighted_moments(&delays, &weights),
+        curve,
+        threads,
+        elapsed,
+    };
+    Ok(YieldRun {
+        report,
+        delays,
+        weights,
+    })
+}
+
+/// The analytic model's yield at deadline `t`: the z-space-interpolated
+/// [`YieldCurve`] when the quantiles are strictly increasing, a step
+/// function over the levels otherwise (a degenerate ladder — e.g. a
+/// near-deterministic toy design — has no continuous curve).
+pub fn analytic_yield_at(q: &QuantileSet, t: f64) -> f64 {
+    if q.as_array().windows(2).all(|w| w[0] < w[1]) {
+        return YieldCurve::new(q).yield_at(t);
+    }
+    SigmaLevel::ALL
+        .iter()
+        .rev()
+        .find(|&&lvl| q[lvl] <= t)
+        .map(|lvl| lvl.probability())
+        .unwrap_or(0.0)
+}
+
+/// Weighted empirical yield at one threshold, with its Wilson (unit
+/// weights) or CLT (importance weights) interval.
+fn threshold_estimate(
+    delays: &[f64],
+    weights: &[f64],
+    period: f64,
+    weighted: bool,
+) -> YieldEstimate {
+    let mut tally = WeightTally::default();
+    for (&d, &w) in delays.iter().zip(weights) {
+        tally.push(w, d > period);
+    }
+    let iv = tally.yield_interval(weighted, Z95);
+    YieldEstimate {
+        value: iv.estimate,
+        ci_lo: iv.lo,
+        ci_hi: iv.hi,
+    }
+}
+
+/// Weight-corrected sigma-level quantiles: sort by delay, then take the
+/// smallest delay whose normalized cumulative weight reaches each level's
+/// probability (the self-normalized IS estimate of the quantile).
+fn weighted_quantiles(delays: &[f64], weights: &[f64]) -> QuantileSet {
+    let mut idx: Vec<usize> = (0..delays.len()).collect();
+    idx.sort_by(|&a, &b| delays[a].total_cmp(&delays[b]));
+    let total: f64 = weights.iter().sum();
+    QuantileSet::from_fn(|lvl| {
+        let want = lvl.probability() * total;
+        let mut cum = 0.0;
+        for &i in &idx {
+            cum += weights[i];
+            if cum >= want {
+                return delays[i];
+            }
+        }
+        idx.last().map(|&i| delays[i]).unwrap_or(0.0)
+    })
+}
+
+/// Weight-corrected first four moments (self-normalized IS estimates).
+fn weighted_moments(delays: &[f64], weights: &[f64]) -> Moments {
+    let total: f64 = weights.iter().sum();
+    let mean = delays.iter().zip(weights).map(|(d, w)| d * w).sum::<f64>() / total;
+    let (mut m2, mut m3, mut m4) = (0.0, 0.0, 0.0);
+    for (&d, &w) in delays.iter().zip(weights) {
+        let e = d - mean;
+        m2 += w * e * e;
+        m3 += w * e * e * e;
+        m4 += w * e * e * e * e;
+    }
+    m2 /= total;
+    m3 /= total;
+    m4 /= total;
+    let std = m2.sqrt();
+    Moments {
+        mean,
+        std,
+        skewness: if m2 > 0.0 { m3 / (m2 * std) } else { 0.0 },
+        kurtosis: if m2 > 0.0 { m4 / (m2 * m2) } else { 0.0 },
+        n: delays.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::YieldAnalysis;
+    use nsigma_cells::CellLibrary;
+    use nsigma_core::{TimerConfig, TimingSession};
+    use nsigma_netlist::generators::arith::ripple_adder;
+    use nsigma_netlist::map_to_cells;
+    use nsigma_process::Technology;
+    use std::sync::OnceLock;
+
+    fn shared() -> &'static (NsigmaTimer, Technology, CellLibrary) {
+        static CELL: OnceLock<(NsigmaTimer, Technology, CellLibrary)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let tech = Technology::synthetic_28nm();
+            let lib = CellLibrary::standard();
+            let mut cfg = TimerConfig::standard(13);
+            cfg.char_samples = 400;
+            cfg.wire.nets = 1;
+            cfg.wire.samples = 200;
+            let timer = NsigmaTimer::build(&tech, &lib, &cfg).expect("timer builds");
+            (timer, tech, lib)
+        })
+    }
+
+    fn adder_session() -> TimingSession<&'static NsigmaTimer> {
+        let (timer, tech, lib) = shared();
+        let nl = map_to_cells(&ripple_adder(6), lib).expect("mapping succeeds");
+        let design = nsigma_mc::Design::with_generated_parasitics(tech.clone(), lib.clone(), nl, 5);
+        TimingSession::new(timer, design, MergeRule::Pessimistic).expect("session builds")
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count_and_chunking() {
+        let session = adder_session();
+        let base = YieldConfig {
+            max_samples: 600,
+            chunk: 600,
+            ci_half_width: 1e-9, // force the full cap
+            threads: 1,
+            ..YieldConfig::default()
+        };
+        let a = session.yield_run(&base).expect("run a");
+        let b = session
+            .yield_run(&YieldConfig {
+                threads: 4,
+                chunk: 128,
+                ..base.clone()
+            })
+            .expect("run b");
+        assert_eq!(a.delays(), b.delays());
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(
+            a.report.mc_quantiles.as_array(),
+            b.report.mc_quantiles.as_array()
+        );
+    }
+
+    #[test]
+    fn plain_mc_converges_and_brackets_the_analytic_yield() {
+        let session = adder_session();
+        let report = session
+            .yield_analysis(&YieldConfig {
+                ci_half_width: 0.02,
+                max_samples: 20_000,
+                ..YieldConfig::default()
+            })
+            .expect("plain run");
+        assert!(report.converged, "ran {} samples", report.samples);
+        assert!(report.estimate.half_width() <= 0.02);
+        assert!((report.ess - report.samples as f64).abs() < 1e-6);
+        assert_eq!(report.importance_shift, 0.0);
+        assert_eq!(report.curve.len(), 7);
+        // At the +3σ target the MC yield should be high (the analytic
+        // model and the golden sampler agree to within a few percent).
+        assert!(
+            report.estimate.value > 0.95,
+            "yield {}",
+            report.estimate.value
+        );
+        assert!(report.moments.mean > 0.0 && report.moments.std > 0.0);
+    }
+
+    #[test]
+    fn importance_sampling_agrees_with_plain_mc_and_boosts_the_tail() {
+        let session = adder_session();
+        let plain = session
+            .yield_run(&YieldConfig {
+                ci_half_width: 1e-9,
+                max_samples: 4096,
+                chunk: 4096,
+                ..YieldConfig::default()
+            })
+            .expect("plain");
+        let is = session
+            .yield_run(&YieldConfig {
+                ci_half_width: 1e-9,
+                max_samples: 4096,
+                chunk: 4096,
+                importance: Some(crate::DEFAULT_IS_SHIFT),
+                ..YieldConfig::default()
+            })
+            .expect("is");
+        // Unbiasedness: both estimate the same yield within their CIs.
+        let tol = plain.report.estimate.half_width() + is.report.estimate.half_width() + 0.01;
+        assert!(
+            (plain.report.estimate.value - is.report.estimate.value).abs() <= tol,
+            "plain {} vs IS {}",
+            plain.report.estimate.value,
+            is.report.estimate.value
+        );
+        // The shifted proposal actually visits the failure region.
+        let target = is.report.target_period;
+        let is_fails = is.delays().iter().filter(|&&d| d > target).count();
+        let plain_fails = plain.delays().iter().filter(|&&d| d > target).count();
+        assert!(
+            is_fails > 10 * plain_fails.max(1),
+            "IS fails {is_fails} vs plain {plain_fails}"
+        );
+        // Weights are genuine: ESS collapses far below n at shift 3
+        // (Kish ESS ~ n·e^{-shift²} for lognormal weights).
+        assert!(is.report.ess < 0.1 * is.report.samples as f64);
+        assert!(is.report.ess > 0.0);
+    }
+
+    #[test]
+    fn importance_converges_much_faster_on_the_tail() {
+        let session = adder_session();
+        let cfg = YieldConfig {
+            ci_half_width: 0.005,
+            chunk: 64,
+            max_samples: 32_768,
+            importance: Some(crate::DEFAULT_IS_SHIFT),
+            ..YieldConfig::default()
+        };
+        let is = session.yield_analysis(&cfg).expect("is run");
+        let plain = session
+            .yield_analysis(&YieldConfig {
+                importance: None,
+                ..cfg
+            })
+            .expect("plain run");
+        assert!(is.converged);
+        assert!(
+            is.samples * 5 <= plain.samples,
+            "IS used {} samples, plain used {}",
+            is.samples,
+            plain.samples
+        );
+    }
+
+    #[test]
+    fn empty_weights_and_bad_configs_are_typed_errors() {
+        let session = adder_session();
+        let err = session
+            .yield_analysis(&YieldConfig {
+                chunk: 0,
+                ..YieldConfig::default()
+            })
+            .expect_err("invalid config");
+        assert_eq!(err.code(), "bad_request");
+        let err = session
+            .yield_analysis(&YieldConfig {
+                target_period: Some(-1.0),
+                ..YieldConfig::default()
+            })
+            .expect_err("negative target");
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn analytic_yield_handles_degenerate_quantiles() {
+        let q = QuantileSet::from_values([1.0; 7]);
+        assert_eq!(analytic_yield_at(&q, 0.5), 0.0);
+        let p = analytic_yield_at(&q, 2.0);
+        assert!((p - SigmaLevel::PlusThree.probability()).abs() < 1e-12);
+        let rising = QuantileSet::from_fn(|l| 10.0 + l.n() as f64);
+        assert!((analytic_yield_at(&rising, 10.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_quantiles_match_plain_quantiles_for_unit_weights() {
+        let delays: Vec<f64> = (0..1000).map(|i| (i as f64) * 1e-12).collect();
+        let weights = vec![1.0; 1000];
+        let wq = weighted_quantiles(&delays, &weights);
+        let pq = QuantileSet::from_samples(&delays);
+        for lvl in SigmaLevel::ALL {
+            assert!(
+                (wq[lvl] - pq[lvl]).abs() < 2e-12,
+                "{lvl:?}: {} vs {}",
+                wq[lvl],
+                pq[lvl]
+            );
+        }
+    }
+}

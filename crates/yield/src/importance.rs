@@ -1,0 +1,156 @@
+//! Likelihood-ratio bookkeeping for mean-shifted importance sampling.
+//!
+//! The proposal distribution shifts the die-wide threshold deviate from
+//! `N(0, 1)` to `N(s, 1)`; everything else is drawn unchanged. Each trial
+//! then carries the Gaussian likelihood ratio
+//! `w = φ(z) / φ(z − s) = exp(−s·z + s²/2)` (with `z` the deviate under
+//! the proposal), which makes `Σ w·1[fail] / n` an unbiased estimate of
+//! the true failure probability — the ISLE estimator restricted to the
+//! dominant global parameter.
+
+use crate::stopping::{clt_fail_interval, wilson_interval, Interval};
+
+/// The importance weight of a trial whose shifted-measure threshold
+/// deviate is `z`, under mean shift `shift`. Exactly 1 when `shift == 0`.
+pub fn likelihood_ratio(z: f64, shift: f64) -> f64 {
+    (-shift * z + 0.5 * shift * shift).exp()
+}
+
+/// Streaming tally of importance weights and weighted failures: enough
+/// state for the yield estimate, its confidence interval and the
+/// effective sample size, mergeable across chunks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightTally {
+    /// Trials observed.
+    pub n: u64,
+    /// `Σ w`.
+    pub sum_w: f64,
+    /// `Σ w²`.
+    pub sum_w2: f64,
+    /// `Σ w·1[fail]`.
+    pub sum_wf: f64,
+    /// `Σ (w·1[fail])²`.
+    pub sum_wf2: f64,
+    /// Raw failure count (unweighted).
+    pub failures: u64,
+}
+
+impl WeightTally {
+    /// Records one trial of weight `w` that failed (`fail = true`) or met
+    /// (`fail = false`) the timing target.
+    pub fn push(&mut self, w: f64, fail: bool) {
+        self.n += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+        if fail {
+            self.failures += 1;
+            self.sum_wf += w;
+            self.sum_wf2 += w * w;
+        }
+    }
+
+    /// Folds another tally in (used when merging worker chunks).
+    pub fn merge(&mut self, other: &WeightTally) {
+        self.n += other.n;
+        self.sum_w += other.sum_w;
+        self.sum_w2 += other.sum_w2;
+        self.sum_wf += other.sum_wf;
+        self.sum_wf2 += other.sum_wf2;
+        self.failures += other.failures;
+    }
+
+    /// Kish effective sample size `(Σw)² / Σw²` — how many plain-MC
+    /// trials the weighted sample is worth. Equals `n` when all weights
+    /// are 1.
+    pub fn ess(&self) -> f64 {
+        if self.sum_w2 <= 0.0 {
+            return 0.0;
+        }
+        self.sum_w * self.sum_w / self.sum_w2
+    }
+
+    /// The yield interval at confidence `z`: Wilson on raw counts when
+    /// the tally is unweighted (`weighted = false`), CLT on the weighted
+    /// failure mean otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trials have been pushed.
+    pub fn yield_interval(&self, weighted: bool, z: f64) -> Interval {
+        let n = self.n as f64;
+        if weighted {
+            clt_fail_interval(self.sum_wf, self.sum_wf2, n, z)
+        } else {
+            wilson_interval(n - self.failures as f64, n, z)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stopping::Z95;
+
+    #[test]
+    fn likelihood_ratio_is_unit_without_shift() {
+        for z in [-3.0, -0.5, 0.0, 1.7, 4.0] {
+            assert_eq!(likelihood_ratio(z, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn likelihood_ratio_integrates_to_one() {
+        // E_q[w] = 1: average the ratio over draws from the proposal.
+        use nsigma_stats::rng::{standard_normal, CounterRng};
+        let shift = 1.5;
+        let mut rng = CounterRng::new(7, 0);
+        let n = 200_000;
+        let mean = (0..n)
+            .map(|_| likelihood_ratio(standard_normal(&mut rng) + shift, shift))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "E[w] = {mean}");
+    }
+
+    #[test]
+    fn tally_merge_matches_sequential() {
+        let mut a = WeightTally::default();
+        let mut b = WeightTally::default();
+        let mut whole = WeightTally::default();
+        // Dyadic weights: exactly representable, so the sums associate
+        // without rounding and the tallies compare bit-for-bit.
+        for i in 0..100 {
+            let w = 0.5 + 0.25 * (i % 8) as f64;
+            let fail = i % 7 == 0;
+            if i < 40 {
+                a.push(w, fail);
+            } else {
+                b.push(w, fail);
+            }
+            whole.push(w, fail);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn ess_equals_n_for_unit_weights() {
+        let mut t = WeightTally::default();
+        for i in 0..50 {
+            t.push(1.0, i % 9 == 0);
+        }
+        assert!((t.ess() - 50.0).abs() < 1e-9);
+        let iv = t.yield_interval(false, Z95);
+        assert!(iv.lo <= iv.estimate && iv.estimate <= iv.hi);
+    }
+
+    #[test]
+    fn skewed_weights_shrink_ess() {
+        let mut t = WeightTally::default();
+        t.push(100.0, false);
+        for _ in 0..99 {
+            t.push(0.01, false);
+        }
+        assert!(t.ess() < 2.0, "ESS = {}", t.ess());
+    }
+}

@@ -1,0 +1,74 @@
+//! Results of a yield-engine run: the point estimate with its interval,
+//! run diagnostics, and the yield-vs-clock-period curve scoring the
+//! analytic N-sigma model against the Monte-Carlo oracle.
+
+use nsigma_stats::moments::Moments;
+use nsigma_stats::quantile::QuantileSet;
+use std::time::Duration;
+
+/// A probability estimate with its 95 % confidence bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    /// Point estimate of the yield `P(delay ≤ target)`.
+    pub value: f64,
+    /// Lower 95 % confidence bound.
+    pub ci_lo: f64,
+    /// Upper 95 % confidence bound.
+    pub ci_hi: f64,
+}
+
+impl YieldEstimate {
+    /// Half the interval width.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.ci_hi - self.ci_lo)
+    }
+}
+
+/// One row of the yield-vs-clock-period comparison: the analytic model's
+/// predicted yield at a deadline against the Monte-Carlo estimate with
+/// its interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Clock period / deadline (s) — an analytic sigma-level quantile.
+    pub period: f64,
+    /// The analytic model's predicted yield at this deadline (the
+    /// sigma level's textbook probability).
+    pub analytic_yield: f64,
+    /// Monte-Carlo yield estimate at the same deadline.
+    pub mc: YieldEstimate,
+}
+
+/// Everything a yield-engine run learned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// The deadline the stopping rule targeted (s) — the configured
+    /// period, or the analytic +3σ quantile when none was given.
+    pub target_period: f64,
+    /// The analytic graph quantiles (eq. 10 propagated over the design)
+    /// the Monte Carlo is scored against.
+    pub analytic_quantiles: QuantileSet,
+    /// The analytic model's predicted yield at `target_period`.
+    pub analytic_yield: f64,
+    /// The Monte-Carlo yield at `target_period` with its interval.
+    pub estimate: YieldEstimate,
+    /// Whether the interval met the requested half-width before the
+    /// sample cap.
+    pub converged: bool,
+    /// Trials actually drawn.
+    pub samples: usize,
+    /// Kish effective sample size (equals `samples` for plain MC).
+    pub ess: f64,
+    /// The importance-sampling mean shift used (0 = plain MC).
+    pub importance_shift: f64,
+    /// Empirical (weight-corrected) sigma-level quantiles of the sampled
+    /// delay distribution.
+    pub mc_quantiles: QuantileSet,
+    /// Weight-corrected moments of the sampled delay distribution.
+    pub moments: Moments,
+    /// Yield-vs-period curve at the seven analytic sigma levels.
+    pub curve: Vec<CurvePoint>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock sampling time.
+    pub elapsed: Duration,
+}

@@ -1,0 +1,121 @@
+//! Confidence intervals for the stopping rule: Wilson score for plain
+//! Monte Carlo, CLT on the weighted failure mean for importance sampling.
+
+/// Two-sided 95 % normal critical value.
+pub const Z95: f64 = 1.959_963_984_540_054;
+
+/// A confidence interval around a probability estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Half the interval width — what the stopping rule compares against
+    /// the requested precision.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+}
+
+/// Wilson score interval for `successes` out of `n` Bernoulli trials.
+///
+/// Chosen over the Wald interval because it stays honest at the extreme
+/// proportions yield estimation lives at (p near 1, often with zero
+/// observed failures in a chunk).
+///
+/// # Panics
+///
+/// Panics if `n == 0` — the engine always evaluates after at least one
+/// chunk.
+pub fn wilson_interval(successes: f64, n: f64, z: f64) -> Interval {
+    assert!(n > 0.0, "Wilson interval needs at least one trial");
+    let p = successes / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let spread = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Interval {
+        estimate: p,
+        lo: (center - spread).max(0.0),
+        hi: (center + spread).min(1.0),
+    }
+}
+
+/// CLT interval on *yield* from the weighted failure tally of an
+/// importance-sampled run: given `Σ w·1[fail]` and `Σ (w·1[fail])²` over
+/// `n` trials, the unbiased failure estimate is `p̂ = Σ w·1[fail] / n`
+/// (since `E[w] = 1` under the proposal) and the interval is the normal
+/// approximation on its sample variance. Returned as the yield-side
+/// interval `1 − p̂ ∓ z·se`, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn clt_fail_interval(sum_wf: f64, sum_wf2: f64, n: f64, z: f64) -> Interval {
+    assert!(n > 0.0, "CLT interval needs at least one trial");
+    let p_fail = sum_wf / n;
+    let var = (sum_wf2 / n - p_fail * p_fail).max(0.0);
+    let se = (var / n).sqrt();
+    Interval {
+        estimate: (1.0 - p_fail).clamp(0.0, 1.0),
+        lo: (1.0 - p_fail - z * se).clamp(0.0, 1.0),
+        hi: (1.0 - p_fail + z * se).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_brackets_the_proportion() {
+        let iv = wilson_interval(90.0, 100.0, Z95);
+        assert!((iv.estimate - 0.9).abs() < 1e-12);
+        assert!(iv.lo < 0.9 && 0.9 < iv.hi);
+        assert!(iv.lo > 0.8 && iv.hi < 0.96);
+    }
+
+    #[test]
+    fn wilson_is_sane_at_the_edges() {
+        let all = wilson_interval(50.0, 50.0, Z95);
+        assert_eq!(all.estimate, 1.0);
+        assert!(all.hi <= 1.0 && all.lo > 0.9);
+        let none = wilson_interval(0.0, 50.0, Z95);
+        assert_eq!(none.estimate, 0.0);
+        assert!(none.lo >= 0.0 && none.hi < 0.1);
+        // More trials tighten the interval.
+        let big = wilson_interval(990.0, 1000.0, Z95);
+        let small = wilson_interval(99.0, 100.0, Z95);
+        assert!(big.half_width() < small.half_width());
+    }
+
+    #[test]
+    fn clt_interval_recovers_unweighted_failures() {
+        // Weights of 1: the CLT interval must agree with the binomial
+        // normal approximation.
+        let n = 1000.0;
+        let fails = 14.0;
+        let iv = clt_fail_interval(fails, fails, n, Z95);
+        let p = fails / n;
+        assert!((iv.estimate - (1.0 - p)).abs() < 1e-12);
+        let se = (p * (1.0 - p) / n).sqrt();
+        assert!((iv.half_width() - Z95 * se).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downweighted_failures_tighten_the_interval() {
+        // Same failure count, but importance weights well below 1 (the
+        // tail was oversampled): the variance, and so the interval,
+        // shrinks.
+        let n = 1000.0;
+        let plain = clt_fail_interval(14.0, 14.0, n, Z95);
+        let weighted = clt_fail_interval(14.0 * 0.01, 14.0 * 0.0001, n, Z95);
+        assert!(weighted.half_width() < 0.2 * plain.half_width());
+    }
+}

@@ -15,9 +15,9 @@ cargo test -q --offline --release -p nsigma --test compiled
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Request paths must stay panic-free: no `.unwrap(` outside #[cfg(test)]
-# in the server and CLI sources (typed QueryError + poison-tolerant locks
-# replaced them; see DESIGN.md §8).
-unwrap_hits=$(for f in crates/server/src/*.rs crates/cli/src/*.rs; do
+# in the server, CLI and yield-engine sources (typed QueryError +
+# poison-tolerant locks replaced them; see DESIGN.md §8–9).
+unwrap_hits=$(for f in crates/server/src/*.rs crates/cli/src/*.rs crates/yield/src/*.rs; do
   awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(/{print FILENAME ":" FNR ": " $0}' "$f"
 done)
 if [ -n "$unwrap_hits" ]; then
@@ -32,5 +32,28 @@ cargo bench --offline --workspace --no-run
 # circuit (exit code is nonzero on any error-severity diagnostic).
 ./target/release/nsigma-sta lint --suite generated > /dev/null
 ./target/release/nsigma-sta lint --iscas c432 --ndjson > /dev/null
+
+# Yield-engine smoke: the CLI `yield` subcommand on a generated circuit
+# must emit the full JSON schema and be byte-stable for a fixed seed.
+yield_tmp=$(mktemp -d)
+trap 'rm -rf "$yield_tmp"' EXIT
+./target/release/nsigma-sta characterize \
+  --coeff "$yield_tmp/coeff.txt" --samples 400 --seed 3 > /dev/null
+yield_cmd=(./target/release/nsigma-sta yield --iscas c432
+  --coeff "$yield_tmp/coeff.txt" --seed 5 --samples 1024 --chunk 256
+  --ci 0.02 --importance --json)
+"${yield_cmd[@]}" > "$yield_tmp/yield1.json"
+for key in '"yield":' '"ci_lo":' '"ci_hi":' '"ci_half_width":' \
+           '"samples":' '"ess":' '"curve":'; do
+  grep -q "$key" "$yield_tmp/yield1.json" || {
+    echo "ci: yield JSON is missing $key" >&2
+    exit 1
+  }
+done
+"${yield_cmd[@]}" > "$yield_tmp/yield2.json"
+cmp -s "$yield_tmp/yield1.json" "$yield_tmp/yield2.json" || {
+  echo "ci: yield output is not deterministic for a fixed seed" >&2
+  exit 1
+}
 
 echo "ci: all green"

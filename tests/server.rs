@@ -184,6 +184,37 @@ fn concurrent_clients_get_bit_exact_answers() {
     let bad = client.request("{broken").expect("response");
     assert_eq!(bad.get("code").unwrap().as_str(), Some("bad_request"));
 
+    // Monte-Carlo yield through the yield engine: response schema, seed
+    // determinism, and a typed rejection for a bad configuration.
+    let yield_req = r#"{"cmd":"yield_design","design":"c432-0","ci":0.02,"samples":512,"seed":5,"importance":true}"#;
+    let y = client.request_ok(yield_req).expect("yield_design");
+    let yield_v = y.get("yield").unwrap().as_f64().unwrap();
+    let lo = y.get("ci_lo").unwrap().as_f64().unwrap();
+    let hi = y.get("ci_hi").unwrap().as_f64().unwrap();
+    assert!(
+        lo <= yield_v && yield_v <= hi,
+        "CI must bracket the estimate"
+    );
+    assert!(y.get("ci_half_width").unwrap().as_f64().unwrap() > 0.0);
+    assert!(y.get("target_period").unwrap().as_f64().unwrap() > 0.0);
+    assert!(y.get("samples").unwrap().as_u64().unwrap() >= 1);
+    assert!(y.get("ess").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(y.get("importance").unwrap().as_bool(), Some(true));
+    assert_eq!(y.get("curve").unwrap().as_arr().unwrap().len(), 7);
+    quantile_array(y.get("analytic_quantiles").unwrap());
+    quantile_array(y.get("mc_quantiles").unwrap());
+    let y2 = client.request_ok(yield_req).expect("yield repeat");
+    assert_eq!(
+        y2.get("yield").unwrap().as_f64().unwrap().to_bits(),
+        yield_v.to_bits(),
+        "yield must be deterministic in the seed"
+    );
+    let bad_yield = client
+        .request(r#"{"cmd":"yield_design","design":"c432-0","samples":0}"#)
+        .expect("response");
+    assert_eq!(bad_yield.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(bad_yield.get("code").unwrap().as_str(), Some("bad_request"));
+
     // Observability: the shared stage cache has hits (four identical
     // designs analyzed the same cells), and the latency counters are sane.
     let stats = client.request_ok(r#"{"cmd":"stats"}"#).expect("stats");
@@ -193,6 +224,12 @@ fn concurrent_clients_get_bit_exact_answers() {
         "stage cache must be hit across designs"
     );
     assert_eq!(stats.get("designs").unwrap().as_u64(), Some(4));
+    // The yield engine's cumulative trial counter reflects the two runs.
+    let drawn = stats.get("yield_samples_drawn").unwrap().as_u64().unwrap();
+    assert!(
+        drawn >= 2 * y.get("samples").unwrap().as_u64().unwrap(),
+        "yield_samples_drawn = {drawn}"
+    );
     // Per-design cache attribution: every registered design ran its
     // initial analysis through its session, so each entry reports lookups.
     let design_cache = stats.get("design_cache").unwrap();
@@ -228,6 +265,13 @@ fn concurrent_clients_get_bit_exact_answers() {
     );
     assert!(wp.get("mean_us").unwrap().as_f64().unwrap() > 0.0);
     assert_eq!(wp.get("errors").unwrap().as_u64(), Some(1)); // the ghost lookup
+    let yd = metrics
+        .get("endpoints")
+        .unwrap()
+        .get("yield_design")
+        .unwrap();
+    assert_eq!(yd.get("ok").unwrap().as_u64(), Some(2));
+    assert_eq!(yd.get("errors").unwrap().as_u64(), Some(1)); // samples: 0
 
     // Clean shutdown via the protocol: the server drains and the accept
     // loop exits, so wait() returns.

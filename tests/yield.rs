@@ -1,0 +1,194 @@
+//! Integration tests of the yield engine against the full stack: a
+//! fixed-seed c432 tail regression (the paper's 99.86 % sign-off
+//! quantile), thread-schedule determinism at the session API, and a
+//! property test that importance sampling and plain Monte Carlo agree
+//! within their confidence intervals on small circuits.
+
+use nsigma::cells::CellLibrary;
+use nsigma::core::sta::{NsigmaTimer, TimerConfig};
+use nsigma::core::{MergeRule, TimingSession};
+use nsigma::mc::design::Design;
+use nsigma::netlist::generators::arith::ripple_adder;
+use nsigma::netlist::generators::random_dag::Iscas85;
+use nsigma::netlist::mapping::map_to_cells;
+use nsigma::process::Technology;
+use nsigma::stats::quantile::SigmaLevel;
+use nsigma::yield_engine::{YieldAnalysis, YieldConfig, DEFAULT_IS_SHIFT};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const SEED: u64 = 11;
+const PARASITIC_SEED: u64 = 7;
+
+/// Pinned +3σ (99.86 %) empirical tail quantile of c432 under the shared
+/// timer at the fixed seed below, in ps. Regression guard: a change to
+/// the sampling kernel, the RNG streams or the characterization that
+/// moves the tail by more than 2 % must be deliberate.
+const C432_TAIL_PS: f64 = 3399.7;
+
+/// Pinned Monte-Carlo yield of c432 at its analytic +3σ quantile (from a
+/// long fixed-seed run); the importance-sampled CI must cover it.
+const C432_YIELD_AT_3SIGMA: f64 = 0.998;
+
+fn shared_timer() -> &'static NsigmaTimer {
+    static TIMER: OnceLock<NsigmaTimer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let mut cfg = TimerConfig::standard(SEED);
+        cfg.char_samples = 300;
+        cfg.wire.nets = 1;
+        cfg.wire.samples = 200;
+        NsigmaTimer::build(&tech, &lib, &cfg).expect("timer builds")
+    })
+}
+
+fn session_for(design: Design) -> TimingSession<&'static NsigmaTimer> {
+    TimingSession::new(shared_timer(), design, MergeRule::Pessimistic).expect("session")
+}
+
+fn c432_session() -> TimingSession<&'static NsigmaTimer> {
+    let tech = Technology::synthetic_28nm();
+    let lib = CellLibrary::standard();
+    let netlist = map_to_cells(&Iscas85::C432.generate(), &lib).expect("mapping");
+    session_for(Design::with_generated_parasitics(
+        tech,
+        lib,
+        netlist,
+        PARASITIC_SEED,
+    ))
+}
+
+#[test]
+fn c432_tail_quantile_regression() {
+    let session = c432_session();
+
+    // Fixed 2048-trial plain run (the tiny half-width disables early
+    // stopping) pins the empirical sign-off quantile.
+    let run = session
+        .yield_run(&YieldConfig {
+            ci_half_width: 1e-12,
+            max_samples: 2048,
+            chunk: 2048,
+            seed: SEED,
+            ..YieldConfig::default()
+        })
+        .expect("plain run");
+    assert_eq!(run.report.samples, 2048);
+    let tail_ps = run.report.mc_quantiles[SigmaLevel::PlusThree] * 1e12;
+    assert!(
+        (tail_ps - C432_TAIL_PS).abs() < 0.02 * C432_TAIL_PS,
+        "c432 +3σ tail drifted: {tail_ps:.1} ps vs pinned {C432_TAIL_PS} ps"
+    );
+
+    // Importance sampling at the analytic +3σ target: converges to the
+    // requested half-width and its interval covers the pinned yield.
+    let is = session
+        .yield_analysis(&YieldConfig {
+            ci_half_width: 0.005,
+            chunk: 64,
+            max_samples: 8192,
+            importance: Some(DEFAULT_IS_SHIFT),
+            seed: SEED,
+            ..YieldConfig::default()
+        })
+        .expect("importance run");
+    assert!(is.converged, "IS must converge within the cap");
+    assert!(is.estimate.half_width() <= 0.005 + 1e-12);
+    assert!(
+        (is.analytic_yield - 0.99865).abs() < 1e-3,
+        "analytic yield at its own +3σ quantile must be the textbook level"
+    );
+    assert!(
+        is.estimate.ci_lo - 0.005 <= C432_YIELD_AT_3SIGMA
+            && C432_YIELD_AT_3SIGMA <= is.estimate.ci_hi + 0.005,
+        "IS interval [{:.5}, {:.5}] must cover the pinned yield {C432_YIELD_AT_3SIGMA}",
+        is.estimate.ci_lo,
+        is.estimate.ci_hi
+    );
+}
+
+#[test]
+fn yield_is_independent_of_thread_schedule() {
+    let session = c432_session();
+    let cfg = |threads: usize| YieldConfig {
+        ci_half_width: 1e-12,
+        max_samples: 512,
+        chunk: 128,
+        threads,
+        seed: SEED,
+        importance: Some(DEFAULT_IS_SHIFT),
+        ..YieldConfig::default()
+    };
+    let one = session.yield_analysis(&cfg(1)).expect("1 thread");
+    let three = session.yield_analysis(&cfg(3)).expect("3 threads");
+    assert_eq!(
+        one.estimate.value.to_bits(),
+        three.estimate.value.to_bits(),
+        "trial-indexed RNG streams must make the estimate schedule-invariant"
+    );
+    assert_eq!(one.ess.to_bits(), three.ess.to_bits());
+    assert_eq!(
+        one.mc_quantiles.as_array().map(f64::to_bits),
+        three.mc_quantiles.as_array().map(f64::to_bits)
+    );
+}
+
+#[test]
+fn invalid_configs_are_bad_requests() {
+    let session = c432_session();
+    for cfg in [
+        YieldConfig {
+            ci_half_width: -1.0,
+            ..YieldConfig::default()
+        },
+        YieldConfig {
+            importance: Some(99.0),
+            ..YieldConfig::default()
+        },
+        YieldConfig {
+            target_period: Some(f64::NAN),
+            ..YieldConfig::default()
+        },
+    ] {
+        let err = session.yield_analysis(&cfg).expect_err("must reject");
+        assert_eq!(err.code(), "bad_request", "{err}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// On small adders, the importance-sampled yield and the plain
+    /// Monte-Carlo yield at the same deadline agree to within their
+    /// combined confidence intervals (plus a floor for the coarse
+    /// sample counts a property test can afford).
+    #[test]
+    fn importance_sampling_agrees_with_plain_mc(width in 2usize..5, seed in 0u64..512) {
+        let tech = Technology::synthetic_28nm();
+        let lib = CellLibrary::standard();
+        let netlist = map_to_cells(&ripple_adder(width), &lib).expect("mapping");
+        let session = session_for(Design::with_generated_parasitics(
+            tech, lib, netlist, PARASITIC_SEED,
+        ));
+        let base = YieldConfig {
+            ci_half_width: 1e-12,
+            max_samples: 1024,
+            chunk: 1024,
+            seed,
+            ..YieldConfig::default()
+        };
+        let plain = session.yield_analysis(&base).expect("plain");
+        let is = session.yield_analysis(&YieldConfig {
+            importance: Some(2.0),
+            ..base
+        }).expect("importance");
+        let tol = 2.0 * (plain.estimate.half_width() + is.estimate.half_width()) + 0.01;
+        prop_assert!(
+            (plain.estimate.value - is.estimate.value).abs() <= tol,
+            "plain {} vs IS {} beyond tolerance {tol}",
+            plain.estimate.value,
+            is.estimate.value
+        );
+    }
+}
